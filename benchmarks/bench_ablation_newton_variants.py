@@ -1,0 +1,43 @@
+"""Ablation — Gauss-Newton vs full Newton Hessian.
+
+The paper opts for the Gauss-Newton approximation "since the problem is
+non-convex and we are not interested in high-accuracy solutions"
+(Sec. IV-A3).  This ablation runs both variants on the same problem and
+compares the mismatch reduction and cost; the reproduced claim is that the
+cheaper Gauss-Newton approximation is not worse in this regime.
+"""
+
+from repro.analysis.reporting import format_rows
+from repro.core.optim.gauss_newton import SolverOptions
+from repro.core.registration import RegistrationSolver
+from repro.data.synthetic import synthetic_registration_problem
+
+
+def _run(gauss_newton: bool):
+    problem = synthetic_registration_problem(16)
+    options = SolverOptions(
+        gradient_tolerance=1e-2, max_newton_iterations=6, max_krylov_iterations=30
+    )
+    solver = RegistrationSolver(beta=1e-2, gauss_newton=gauss_newton, options=options)
+    result = solver.run(problem.template, problem.reference, grid=problem.grid)
+    return {
+        "hessian": "gauss_newton" if gauss_newton else "full_newton",
+        "relative_residual": result.relative_residual,
+        "hessian_matvecs": result.num_hessian_matvecs,
+        "newton_iterations": result.num_newton_iterations,
+        "det_grad_min": result.det_grad_stats["min"],
+        "time": result.elapsed_seconds,
+    }
+
+
+def test_ablation_newton_variants(benchmark, record_text):
+    rows = benchmark.pedantic(lambda: [_run(True), _run(False)], rounds=1, iterations=1)
+    record_text(
+        "ablation_newton_variants",
+        format_rows(rows, title="Ablation: Gauss-Newton vs full Newton Hessian"),
+    )
+    gauss_newton, full_newton = rows
+    assert gauss_newton["relative_residual"] < 1.0
+    assert full_newton["relative_residual"] < 1.0
+    # Gauss-Newton reaches a comparable mismatch (within 25%) at no extra cost
+    assert gauss_newton["relative_residual"] <= full_newton["relative_residual"] * 1.25

@@ -1,0 +1,28 @@
+"""Fig. 6 — brain registration: residual before and after registration.
+
+The figure shows the reference, the template, and the residual before and
+after registration for the multi-subject brain pair; the residual panel
+becomes much brighter (smaller mismatch) after registration.  Reproduced on
+the brain phantom (NIREP substitute): the measured claim is a substantial
+reduction of the L2 residual with a strictly positive Jacobian determinant.
+"""
+
+from repro.analysis.experiments import reproduce_brain_registration
+from repro.analysis.reporting import format_rows
+
+
+def test_fig6_brain_residual_reduction(benchmark, record_text):
+    summary = benchmark.pedantic(
+        lambda: reproduce_brain_registration(
+            resolution=24, beta=1e-3, max_newton_iterations=15
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    top = {k: v for k, v in summary.items() if k != "slices"}
+    record_text(
+        "fig6_brain_residual",
+        format_rows([top], title="Fig. 6 brain registration (measured, phantom pair)"),
+    )
+    assert summary["residual_after"] < 0.8 * summary["residual_before"]
+    assert summary["det_grad_min"] > 0.0

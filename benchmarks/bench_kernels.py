@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the computational kernels (Sec. III-C of the paper).
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+building blocks whose costs the paper's complexity model is built from: the
+3D FFT, the spectral gradient/Laplacian/Leray operators, the tricubic
+interpolation, one semi-Lagrangian step, a full transport solve, the reduced
+gradient and one Hessian mat-vec.  They document where the time goes in this
+Python implementation (interpolation and FFTs, as in the paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RegistrationProblem
+from repro.data.synthetic import synthetic_registration_problem, synthetic_velocity
+from repro.spectral.grid import Grid
+from repro.spectral.operators import SpectralOperators
+from repro.transport.interpolation import PeriodicInterpolator
+from repro.transport.semi_lagrangian import SemiLagrangianStepper
+from repro.transport.solvers import TransportSolver
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid((N, N, N))
+
+
+@pytest.fixture(scope="module")
+def ops(grid):
+    return SpectralOperators(grid)
+
+
+@pytest.fixture(scope="module")
+def field(grid):
+    return np.random.default_rng(0).standard_normal(grid.shape)
+
+
+@pytest.fixture(scope="module")
+def velocity(grid):
+    return synthetic_velocity(grid)
+
+
+def test_bench_fft_roundtrip(benchmark, ops, field):
+    benchmark(lambda: ops.fft.backward(ops.fft.forward(field)))
+
+
+def test_bench_gradient(benchmark, ops, field):
+    benchmark(lambda: ops.gradient(field))
+
+
+def test_bench_laplacian(benchmark, ops, field):
+    benchmark(lambda: ops.laplacian(field))
+
+
+def test_bench_leray_projection(benchmark, ops, velocity):
+    benchmark(lambda: ops.leray_project(velocity))
+
+
+@pytest.mark.parametrize("method", ["cubic_bspline", "catmull_rom", "linear"])
+def test_bench_interpolation(benchmark, grid, field, method):
+    interp = PeriodicInterpolator(grid, method)
+    points = np.random.default_rng(1).uniform(0, 2 * np.pi, size=(3, grid.num_points))
+    benchmark(lambda: interp(field, points))
+
+
+def test_bench_semi_lagrangian_step(benchmark, grid, field, velocity):
+    stepper = SemiLagrangianStepper(grid, velocity, dt=0.25)
+    benchmark(lambda: stepper.step(field))
+
+
+def test_bench_state_transport(benchmark, grid, field, velocity):
+    solver = TransportSolver(grid, num_time_steps=4)
+    plan = solver.plan(velocity)
+    benchmark(lambda: solver.solve_state(plan, field))
+
+
+@pytest.fixture(scope="module")
+def problem():
+    synthetic = synthetic_registration_problem(N)
+    return RegistrationProblem(
+        grid=synthetic.grid,
+        reference=synthetic.reference,
+        template=synthetic.template,
+        beta=1e-2,
+    )
+
+
+def test_bench_objective(benchmark, problem, velocity):
+    benchmark(lambda: problem.evaluate_objective(0.3 * velocity))
+
+
+def test_bench_reduced_gradient(benchmark, problem, velocity):
+    benchmark(lambda: problem.linearize(0.3 * velocity))
+
+
+def test_bench_hessian_matvec(benchmark, problem, velocity):
+    iterate = problem.linearize(0.3 * velocity)
+    direction = 0.1 * velocity
+    benchmark(lambda: problem.hessian_matvec(iterate, direction))

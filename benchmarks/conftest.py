@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md for the experiment index).  The harness
+
+* runs the *measured* part (real solves at laptop-scale resolution),
+* produces the *modeled* rows for the paper's node counts via the
+  calibrated performance model,
+* prints the paper's reference row next to the reproduced row, and
+* writes the formatted comparison to ``benchmarks/results/<name>.txt`` so
+  EXPERIMENTS.md can reference the artifacts.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# make the tests' conftest helpers importable if needed
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_text(results_dir):
+    """Write a text artifact into benchmarks/results and echo it to stdout."""
+
+    def _write(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{'=' * 78}\n{name}\n{'=' * 78}\n{text}\n")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def measured_synthetic_counts():
+    """Measured iteration counts of the scalability setup (2 GN iterations).
+
+    Shared by the Table I/II/IV benches so the expensive solve runs once per
+    session.
+    """
+    from repro.analysis.experiments import measure_solver_iterations
+
+    return measure_solver_iterations(resolution=24, num_newton_iterations=2)
+
+
+@pytest.fixture(scope="session")
+def measured_incompressible_counts():
+    from repro.analysis.experiments import measure_solver_iterations
+
+    return measure_solver_iterations(
+        resolution=24, num_newton_iterations=2, incompressible=True
+    )

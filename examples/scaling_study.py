@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the paper's scaling study (Tables I-IV) from the performance model.
+
+Measures the algorithmic work (Newton iterations, Hessian mat-vecs) with the
+real solver on the synthetic problem at laptop scale, then projects the
+wall-clock rows of every scaling table with the calibrated machine model and
+prints them next to the paper's reference numbers.
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    measure_solver_iterations,
+    reproduce_scaling_table,
+)
+from repro.analysis.reporting import format_breakdown_table, format_rows
+
+
+def main() -> None:
+    print("Measuring the solver's algorithmic work on the synthetic problem (24^3) ...")
+    counts = measure_solver_iterations(resolution=24, num_newton_iterations=2)
+    print(format_rows([counts], title="Measured work (2 Gauss-Newton iterations)"))
+    print()
+
+    for table, description in (
+        ("I", "synthetic problem, Maverick, 16 tasks/node"),
+        ("II", "synthetic problem, Stampede, 2 tasks/node"),
+        ("III", "incompressible synthetic problem, Maverick, 2 tasks/node"),
+        ("IV", "brain images (256x300x256), Maverick"),
+    ):
+        entries = reproduce_scaling_table(
+            table,
+            num_newton_iterations=counts["newton_iterations"],
+            num_hessian_matvecs=max(counts["hessian_matvecs"], 1),
+        )
+        print(
+            format_breakdown_table(
+                entries, title=f"Table {table} ({description}): paper vs model projection"
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Volume-preserving (incompressible) registration.
+
+The paper's most challenging setting: the velocity is constrained to be
+divergence free, which makes the deformation map locally volume preserving
+("mass preserving" in the medical-imaging jargon; Table III uses this
+configuration).  This example registers the divergence-free synthetic
+problem, verifies that det(grad y1) stays equal to one, and compares the
+outcome with an unconstrained registration of the same pair.
+
+Run with::
+
+    python examples/volume_preserving_registration.py [resolution]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SolverOptions, register
+from repro.analysis.reporting import format_rows
+from repro.data.synthetic import synthetic_registration_problem
+
+
+def run_case(problem, incompressible: bool):
+    options = SolverOptions(
+        gradient_tolerance=1e-2,
+        max_newton_iterations=10,
+        max_krylov_iterations=50,
+    )
+    result = register(
+        problem.template,
+        problem.reference,
+        beta=1e-2,
+        incompressible=incompressible,
+        options=options,
+        grid=problem.grid,
+    )
+    return {
+        "constraint": "div v = 0" if incompressible else "none",
+        "relative_residual": result.relative_residual,
+        "newton_iterations": result.num_newton_iterations,
+        "hessian_matvecs": result.num_hessian_matvecs,
+        "det_grad_min": result.det_grad_stats["min"],
+        "det_grad_max": result.det_grad_stats["max"],
+        "volume_change_max": result.det_grad_stats["deviation_from_volume_preservation"]
+        if "deviation_from_volume_preservation" in result.det_grad_stats
+        else max(abs(result.det_grad_stats["min"] - 1), abs(result.det_grad_stats["max"] - 1)),
+    }
+
+
+def main(resolution: int = 24) -> None:
+    print(f"Building the incompressible synthetic problem at {resolution}^3 ...")
+    problem = synthetic_registration_problem(resolution, incompressible=True)
+    print(f"  initial mismatch: {problem.initial_residual:.4f}")
+
+    print("Registering with and without the incompressibility constraint ...")
+    rows = [run_case(problem, incompressible=True), run_case(problem, incompressible=False)]
+    print()
+    print(format_rows(rows, title="Volume-preserving vs unconstrained registration"))
+    print()
+    constrained = rows[0]
+    print(
+        "With the Leray projection the Jacobian determinant stays within "
+        f"[{constrained['det_grad_min']:.3f}, {constrained['det_grad_max']:.3f}] "
+        "(exactly volume preserving up to discretization error)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 24)

@@ -1,0 +1,45 @@
+"""Analysis and reporting: reference tables, experiment drivers, formatting.
+
+This package connects the library to the paper's evaluation section:
+
+* :mod:`repro.analysis.paper_tables` — the reference numbers of Tables I-V
+  transcribed from the paper, used for side-by-side comparison,
+* :mod:`repro.analysis.experiments` — drivers that regenerate every table
+  and figure (measured at laptop scale where feasible, model-projected at
+  the paper's node counts), consumed by the benchmark harness,
+* :mod:`repro.analysis.reporting` — plain-text table formatting that mimics
+  the layout of the paper's tables.
+"""
+
+from repro.analysis.paper_tables import (
+    PaperRun,
+    TABLE_I,
+    TABLE_II,
+    TABLE_III,
+    TABLE_IV,
+    TABLE_V,
+    paper_table,
+)
+from repro.analysis.reporting import format_breakdown_table, format_rows
+from repro.analysis.experiments import (
+    reproduce_scaling_table,
+    reproduce_beta_sensitivity,
+    reproduce_synthetic_problem,
+    reproduce_brain_registration,
+)
+
+__all__ = [
+    "PaperRun",
+    "TABLE_I",
+    "TABLE_II",
+    "TABLE_III",
+    "TABLE_IV",
+    "TABLE_V",
+    "paper_table",
+    "format_breakdown_table",
+    "format_rows",
+    "reproduce_scaling_table",
+    "reproduce_beta_sensitivity",
+    "reproduce_synthetic_problem",
+    "reproduce_brain_registration",
+]

@@ -1,0 +1,71 @@
+"""Plain-text table formatting mimicking the paper's table layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+BREAKDOWN_COLUMNS = (
+    "time_to_solution",
+    "fft_communication",
+    "fft_execution",
+    "interp_communication",
+    "interp_execution",
+)
+
+
+def _format_value(value: object, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-2:
+            return f"{value:.2e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_breakdown_table(
+    entries: Iterable[Dict[str, object]],
+    title: Optional[str] = None,
+) -> str:
+    """Format paper-vs-reproduced breakdown rows.
+
+    Each entry is a dictionary with at least ``label`` plus any of the
+    breakdown columns, typically produced by
+    :func:`repro.analysis.experiments.reproduce_scaling_table`.
+    """
+    columns = ["label", "grid", "tasks", "source", *BREAKDOWN_COLUMNS]
+    rows = []
+    for entry in entries:
+        row = {c: entry.get(c) for c in columns}
+        rows.append(row)
+    return format_rows(rows, columns=columns, title=title)

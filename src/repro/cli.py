@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Two subcommands are provided so the solver can be driven without writing
+Python:
+
+``repro-register register``
+    Register a template onto a reference image.  Inputs are either an
+    ``.npz`` problem file (as written by :func:`repro.data.io.save_problem`,
+    i.e. arrays ``reference`` and ``template``), or one of the built-in
+    problems (``--synthetic N``, ``--brain N``) used throughout the paper's
+    evaluation.  The resulting velocity, deformed template and determinant
+    map are written to an ``.npz`` file.
+
+``repro-register scaling``
+    Print one of the paper's scaling tables (I-IV) next to the projection of
+    the calibrated performance model, or a custom configuration
+    (``--grid N --tasks p --machine maverick``).
+
+Examples
+--------
+::
+
+    repro-register register --synthetic 32 --beta 1e-2 --output result.npz
+    repro-register register --input pair.npz --incompressible --output result.npz
+    repro-register scaling --table I
+    repro-register scaling --grid 256 --tasks 512 --machine stampede
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.experiments import reproduce_scaling_table
+from repro.analysis.reporting import format_breakdown_table, format_rows
+from repro.core.optim.gauss_newton import SolverOptions
+from repro.core.registration import RegistrationSolver
+from repro.data.brain import brain_registration_pair
+from repro.data.io import load_problem
+from repro.data.synthetic import synthetic_registration_problem
+from repro.parallel.machines import get_machine
+from repro.parallel.performance import RegistrationCostModel
+from repro.utils.logging import set_verbosity
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-register",
+        description="Large-deformation diffeomorphic 3D image registration (SC16 reproduction)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="print per-iteration progress")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    reg = subparsers.add_parser("register", help="run a registration")
+    source = reg.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", type=str, help=".npz file with 'reference' and 'template'")
+    source.add_argument(
+        "--synthetic", type=int, metavar="N", help="use the paper's synthetic problem at N^3"
+    )
+    source.add_argument(
+        "--brain", type=int, metavar="N", help="use the brain-phantom pair at base resolution N"
+    )
+    reg.add_argument("--output", type=str, default=None, help="output .npz path")
+    reg.add_argument("--beta", type=float, default=1e-2, help="regularization weight")
+    reg.add_argument(
+        "--regularization", choices=("h1", "h2", "h3"), default="h1", help="Sobolev seminorm"
+    )
+    reg.add_argument("--incompressible", action="store_true", help="enforce div v = 0")
+    reg.add_argument("--nt", type=int, default=4, help="semi-Lagrangian time steps")
+    reg.add_argument("--gtol", type=float, default=1e-2, help="relative gradient tolerance")
+    reg.add_argument("--max-newton", type=int, default=20, help="maximum Newton iterations")
+    reg.add_argument("--max-krylov", type=int, default=50, help="maximum PCG iterations per step")
+    reg.add_argument(
+        "--optimizer",
+        choices=("gauss_newton", "gradient_descent"),
+        default="gauss_newton",
+        help="outer optimizer",
+    )
+
+    scal = subparsers.add_parser("scaling", help="print paper-vs-model scaling tables")
+    scal.add_argument("--table", choices=("I", "II", "III", "IV"), default=None)
+    scal.add_argument("--grid", type=int, default=None, help="grid points per dimension")
+    scal.add_argument("--tasks", type=int, default=None, help="number of MPI tasks")
+    scal.add_argument(
+        "--machine",
+        choices=("maverick", "maverick-2tpn", "stampede"),
+        default="maverick",
+    )
+    scal.add_argument("--matvecs", type=int, default=2, help="Hessian mat-vecs to assume")
+    scal.add_argument("--newton", type=int, default=2, help="Newton iterations to assume")
+    return parser
+
+
+def _load_pair(args: argparse.Namespace):
+    if args.input:
+        data = load_problem(args.input)
+        return data["reference"], data["template"], data["grid"]
+    if args.synthetic:
+        problem = synthetic_registration_problem(
+            args.synthetic, incompressible=args.incompressible
+        )
+        return problem.reference, problem.template, problem.grid
+    pair = brain_registration_pair(base_resolution=args.brain)
+    return pair.reference, pair.template, pair.grid
+
+
+def _run_register(args: argparse.Namespace) -> int:
+    reference, template, grid = _load_pair(args)
+    options = SolverOptions(
+        gradient_tolerance=args.gtol,
+        max_newton_iterations=args.max_newton,
+        max_krylov_iterations=args.max_krylov,
+        verbose=args.verbose,
+    )
+    solver = RegistrationSolver(
+        beta=args.beta,
+        regularization=args.regularization,
+        incompressible=args.incompressible,
+        num_time_steps=args.nt,
+        optimizer=args.optimizer,
+        options=options,
+    )
+    result = solver.run(template, reference, grid=grid)
+    print(format_rows([result.summary()], title="Registration summary"))
+    if args.output:
+        np.savez_compressed(
+            args.output,
+            velocity=result.velocity,
+            deformed_template=result.deformed_template,
+            determinant=result.deformation.determinant(),
+            residual_before=result.residual_before,
+            residual_after=result.residual_after,
+        )
+        print(f"result written to {args.output}")
+    return 0 if result.relative_residual < 1.0 else 1
+
+
+def _run_scaling(args: argparse.Namespace) -> int:
+    if args.table:
+        entries = reproduce_scaling_table(
+            args.table,
+            num_newton_iterations=args.newton,
+            num_hessian_matvecs=args.matvecs,
+        )
+        print(
+            format_breakdown_table(
+                entries, title=f"Table {args.table}: paper rows vs model projections"
+            )
+        )
+        return 0
+    if args.grid is None or args.tasks is None:
+        print("either --table or both --grid and --tasks are required", file=sys.stderr)
+        return 2
+    model = RegistrationCostModel(
+        grid_shape=(args.grid,) * 3,
+        num_tasks=args.tasks,
+        machine=get_machine(args.machine),
+        num_newton_iterations=args.newton,
+        num_hessian_matvecs=args.matvecs,
+    )
+    breakdown = model.breakdown().as_dict()
+    breakdown.update({"grid": f"{args.grid}^3", "machine": args.machine})
+    print(format_rows([breakdown], title="Modeled cost"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-register`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        set_verbosity("info")
+    if args.command == "register":
+        return _run_register(args)
+    return _run_scaling(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

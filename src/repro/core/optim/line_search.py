@@ -1,0 +1,129 @@
+"""Armijo backtracking line search.
+
+The paper globalizes the Newton iteration with an Armijo line search
+(Sec. III-A: "a line-search globalized, inexact, preconditioned
+Gauss-Newton-Krylov scheme").  The implementation below backtracks from a
+unit step, accepting the first step length that satisfies the sufficient
+decrease condition
+
+    J(v + alpha d)  <=  J(v) + c1 * alpha * <g, d>.
+
+The objective evaluation is supplied as a callable, because for the
+registration problem each evaluation requires a forward transport solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.spectral.grid import Grid
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive
+
+LOGGER = get_logger("core.optim.line_search")
+
+
+@dataclass
+class LineSearchResult:
+    """Outcome of one Armijo backtracking search."""
+
+    step_length: float
+    objective: float
+    evaluations: int
+    success: bool
+
+
+@dataclass
+class ArmijoLineSearch:
+    """Backtracking line search with the Armijo sufficient-decrease rule.
+
+    Parameters
+    ----------
+    c1:
+        Sufficient-decrease parameter (default ``1e-4``, the standard
+        choice).
+    contraction:
+        Multiplicative backtracking factor applied to the step length.
+    max_evaluations:
+        Maximum number of trial objective evaluations before giving up.
+    initial_step:
+        First trial step (1 for Newton-type directions).
+    """
+
+    c1: float = 1e-4
+    contraction: float = 0.5
+    max_evaluations: int = 20
+    initial_step: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.c1, "c1")
+        if not 0.0 < self.contraction < 1.0:
+            raise ValueError(f"contraction must lie in (0, 1), got {self.contraction}")
+        if self.max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        check_positive(self.initial_step, "initial_step")
+
+    def search(
+        self,
+        objective: Callable[[np.ndarray], float],
+        grid: Grid,
+        current_point: np.ndarray,
+        current_objective: float,
+        gradient: np.ndarray,
+        direction: np.ndarray,
+    ) -> LineSearchResult:
+        """Find an Armijo-acceptable step along *direction*.
+
+        Parameters
+        ----------
+        objective:
+            Callable evaluating ``J`` at a trial velocity.
+        grid:
+            Grid defining the inner product for the directional derivative.
+        current_point:
+            Current velocity ``v``.
+        current_objective:
+            ``J(v)`` (already computed by the outer iteration).
+        gradient:
+            Reduced gradient ``g(v)``.
+        direction:
+            Search direction ``d`` (the Newton/PCG step).
+        """
+        directional_derivative = grid.inner(gradient, direction)
+        sign = 1.0
+        if directional_derivative >= 0.0:
+            # The (inexact) Newton direction is not a descent direction;
+            # search along the reflected direction instead.  The returned
+            # step length is signed so that callers always update with
+            # ``v + step * direction`` using the *original* direction.
+            LOGGER.debug(
+                "direction is not a descent direction (g.d = %.3e); reflecting",
+                directional_derivative,
+            )
+            sign = -1.0
+            directional_derivative = -directional_derivative
+
+        step = self.initial_step
+        evaluations = 0
+        while evaluations < self.max_evaluations:
+            trial = current_point + sign * step * direction
+            value = objective(trial)
+            evaluations += 1
+            sufficient = current_objective + self.c1 * step * directional_derivative
+            if np.isfinite(value) and value <= sufficient:
+                return LineSearchResult(
+                    step_length=sign * step,
+                    objective=value,
+                    evaluations=evaluations,
+                    success=True,
+                )
+            step *= self.contraction
+        return LineSearchResult(
+            step_length=0.0,
+            objective=current_objective,
+            evaluations=evaluations,
+            success=False,
+        )

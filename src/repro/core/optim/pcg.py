@@ -1,0 +1,145 @@
+"""Matrix-free preconditioned conjugate gradients (PCG).
+
+The Newton step is computed by solving ``H(v) v~ = -g(v)`` with PCG
+(Sec. III-A).  The operator is only available as a mat-vec (two transport
+solves per application), so a fully matrix-free implementation working on
+velocity-shaped ``(3, N1, N2, N3)`` arrays is required.  The solve is
+*inexact*: the relative tolerance is the Eisenstat-Walker forcing term chosen
+by the outer Newton iteration.
+
+Safeguards follow standard Newton-Krylov practice (e.g. Nocedal & Wright):
+if a direction of negative curvature is encountered the iteration stops and
+returns the current iterate (or the preconditioned steepest-descent direction
+if that happens on the very first iteration), which keeps the Gauss-Newton
+step a descent direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.spectral.grid import Grid
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("core.optim.pcg")
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class PCGResult:
+    """Outcome of a PCG solve."""
+
+    solution: np.ndarray
+    iterations: int
+    residual_norms: List[float] = field(default_factory=list)
+    converged: bool = False
+    negative_curvature: bool = False
+
+    @property
+    def final_relative_residual(self) -> float:
+        if not self.residual_norms:
+            return float("nan")
+        return self.residual_norms[-1] / max(self.residual_norms[0], 1e-300)
+
+
+def pcg(
+    matvec: MatVec,
+    rhs: np.ndarray,
+    grid: Grid,
+    preconditioner: Optional[MatVec] = None,
+    rel_tol: float = 1e-2,
+    abs_tol: float = 0.0,
+    max_iterations: int = 100,
+    x0: Optional[np.ndarray] = None,
+) -> PCGResult:
+    """Solve ``H x = rhs`` with preconditioned conjugate gradients.
+
+    Parameters
+    ----------
+    matvec:
+        Callable applying the SPD operator ``H`` to a velocity-shaped array.
+    rhs:
+        Right-hand side (``-g`` for the Newton system).
+    grid:
+        Grid defining the inner product (mesh-weighted L2).
+    preconditioner:
+        Callable applying ``M^{-1}``; identity when omitted.
+    rel_tol:
+        Relative residual tolerance (the forcing term of the inexact Newton
+        method).
+    abs_tol:
+        Absolute residual tolerance.
+    max_iterations:
+        Hard cap on the number of mat-vecs.
+    x0:
+        Optional initial guess (zero by default, the usual choice for
+        Newton systems).
+
+    Returns
+    -------
+    PCGResult
+        Solution, iteration count, residual history and status flags.
+    """
+    if rel_tol < 0 or abs_tol < 0:
+        raise ValueError("tolerances must be non-negative")
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    rhs = np.asarray(rhs)
+
+    apply_prec = preconditioner if preconditioner is not None else (lambda r: r)
+
+    x = np.zeros_like(rhs) if x0 is None else np.array(x0, copy=True)
+    r = rhs - matvec(x) if x0 is not None and np.any(x0) else rhs.copy()
+    z = apply_prec(r)
+    p = z.copy()
+    rz = grid.inner(r, z)
+
+    r_norm = grid.norm(r)
+    residual_norms = [r_norm]
+    # the relative tolerance is measured against ||rhs|| (scipy convention),
+    # so a warm start that already satisfies the system converges immediately
+    target = max(rel_tol * grid.norm(rhs), abs_tol)
+
+    if r_norm <= target:
+        return PCGResult(solution=x, iterations=0, residual_norms=residual_norms, converged=True)
+
+    negative_curvature = False
+    converged = False
+    iterations = 0
+    for iteration in range(max_iterations):
+        hp = matvec(p)
+        curvature = grid.inner(p, hp)
+        iterations = iteration + 1
+        if curvature <= 0.0:
+            # Negative (or zero) curvature: fall back to the best iterate so
+            # far; on the first iteration use the preconditioned gradient so
+            # the Newton step is still a descent direction.
+            negative_curvature = True
+            if iteration == 0:
+                x = z.copy()
+            LOGGER.debug("PCG detected non-positive curvature at iteration %d", iteration)
+            break
+        alpha = rz / curvature
+        x += alpha * p
+        r -= alpha * hp
+        r_norm = grid.norm(r)
+        residual_norms.append(r_norm)
+        if r_norm <= target:
+            converged = True
+            break
+        z = apply_prec(r)
+        rz_new = grid.inner(r, z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+
+    return PCGResult(
+        solution=x,
+        iterations=iterations,
+        residual_norms=residual_norms,
+        converged=converged,
+        negative_curvature=negative_curvature,
+    )

@@ -1,0 +1,35 @@
+"""Spectral (Fourier) discretization in space.
+
+The paper discretizes every spatial operation on a regular periodic grid via
+Fourier expansions (Sec. III-B1): derivatives, the Laplacian and biharmonic
+regularization operators, their inverses (used by the preconditioner and by
+the Leray projection), spectral Gaussian smoothing of the input images, and
+zero padding of non-periodic data.  This package provides all of those
+building blocks for the single-node (serial) backend; the distributed
+counterparts built on the pencil-decomposed FFT live in
+:mod:`repro.parallel`.
+"""
+
+from repro.spectral.grid import Grid
+from repro.spectral.fft import FourierTransform
+from repro.spectral.operators import SpectralOperators
+from repro.spectral.filters import (
+    gaussian_smooth,
+    low_pass_filter,
+    prolong,
+    restrict,
+    zero_pad,
+    remove_padding,
+)
+
+__all__ = [
+    "Grid",
+    "FourierTransform",
+    "SpectralOperators",
+    "gaussian_smooth",
+    "low_pass_filter",
+    "prolong",
+    "restrict",
+    "zero_pad",
+    "remove_padding",
+]

@@ -1,0 +1,117 @@
+"""Serial Fourier-transform backend.
+
+The paper's implementation uses AccFFT (built on FFTW) for its distributed
+transforms; the serial, single-process backend used by the core solver here
+wraps :func:`numpy.fft.rfftn` / :func:`numpy.fft.irfftn` (all fields of the
+problem are real).  The distributed pencil-decomposed transform that mirrors
+AccFFT's communication pattern lives in
+:mod:`repro.parallel.distributed_fft` and is validated against this backend.
+
+The backend also counts the number of transforms performed.  The paper's
+complexity model (Sec. III-C4) expresses the per-iteration cost as a number
+of 3D FFTs and interpolations; counting the transforms lets the benchmark
+harness verify those counts against the analytic formula ``8*nt`` FFTs per
+Hessian matvec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spectral.grid import Grid
+
+
+@dataclass
+class FFTCounters:
+    """Number of forward/backward 3D transforms executed."""
+
+    forward: int = 0
+    backward: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.forward + self.backward
+
+    def reset(self) -> None:
+        self.forward = 0
+        self.backward = 0
+
+
+@dataclass
+class FourierTransform:
+    """Real-to-complex 3D FFT bound to a :class:`~repro.spectral.grid.Grid`.
+
+    Parameters
+    ----------
+    grid:
+        The periodic grid defining the transform size.
+
+    Notes
+    -----
+    The transform is unnormalized in the forward direction and normalized in
+    the backward direction (numpy's default), which is the convention assumed
+    by every spectral symbol in :mod:`repro.spectral.operators`.
+    """
+
+    grid: Grid
+    counters: FFTCounters = field(default_factory=FFTCounters)
+
+    @property
+    def spectral_shape(self) -> tuple[int, int, int]:
+        """Shape of the half-spectrum array produced by :meth:`forward`."""
+        n1, n2, n3 = self.grid.shape
+        return (n1, n2, n3 // 2 + 1)
+
+    def forward(self, field_values: np.ndarray) -> np.ndarray:
+        """Forward real-to-complex transform of a scalar field."""
+        field_values = np.asarray(field_values)
+        if field_values.shape != self.grid.shape:
+            raise ValueError(
+                f"field has shape {field_values.shape}, expected {self.grid.shape}"
+            )
+        self.counters.forward += 1
+        return np.fft.rfftn(field_values)
+
+    def backward(self, spectrum: np.ndarray) -> np.ndarray:
+        """Inverse transform returning a real field on the grid."""
+        spectrum = np.asarray(spectrum)
+        if spectrum.shape != self.spectral_shape:
+            raise ValueError(
+                f"spectrum has shape {spectrum.shape}, expected {self.spectral_shape}"
+            )
+        self.counters.backward += 1
+        out = np.fft.irfftn(spectrum, s=self.grid.shape)
+        return out.astype(self.grid.dtype, copy=False)
+
+    def forward_vector(self, vector_field: np.ndarray) -> np.ndarray:
+        """Component-wise forward transform of a ``(3, N1, N2, N3)`` field."""
+        vector_field = np.asarray(vector_field)
+        if vector_field.shape != (3, *self.grid.shape):
+            raise ValueError(
+                f"vector field has shape {vector_field.shape}, expected {(3, *self.grid.shape)}"
+            )
+        return np.stack([self.forward(vector_field[i]) for i in range(3)], axis=0)
+
+    def backward_vector(self, spectra: np.ndarray) -> np.ndarray:
+        """Component-wise inverse transform of a stacked spectral field."""
+        spectra = np.asarray(spectra)
+        if spectra.shape != (3, *self.spectral_shape):
+            raise ValueError(
+                f"spectra have shape {spectra.shape}, expected {(3, *self.spectral_shape)}"
+            )
+        return np.stack([self.backward(spectra[i]) for i in range(3)], axis=0)
+
+    def apply_symbol(self, field_values: np.ndarray, symbol: np.ndarray) -> np.ndarray:
+        """Apply a Fourier multiplier: ``ifft(symbol * fft(field))``.
+
+        This is the fundamental operation behind every differential operator,
+        its inverse, the preconditioner and the spectral filters.
+        """
+        spectrum = self.forward(field_values)
+        spectrum *= symbol
+        return self.backward(spectrum)
+
+    def reset_counters(self) -> None:
+        self.counters.reset()

@@ -1,0 +1,217 @@
+"""Spectral differential operators on the periodic grid.
+
+These implement every spatial operator the formulation needs (Sec. II-B and
+III-B1 of the paper):
+
+* first derivatives, gradient and divergence,
+* the (vector) Laplacian ``lap`` used by the H1 regularization,
+* the biharmonic operator ``lap^2`` used by the H2 regularization,
+* their (pseudo-)inverses, applied as spectral diagonal scalings,
+* the Leray projection ``P = I - grad lap^{-1} div`` which eliminates the
+  incompressibility constraint ``div v = 0`` from the optimality system,
+* the curl (used for diagnostics on volume-preserving velocity fields).
+
+All operators are Fourier multipliers, hence commute, are exact for band
+limited fields, and are applied in ``O(N^3 log N)`` time.  The inverse of the
+Laplacian/biharmonic is the Moore-Penrose pseudo-inverse: the constant
+(zero-frequency) mode, which lies in the null space, is mapped to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.spectral.fft import FourierTransform
+from repro.spectral.grid import Grid
+from repro.utils.validation import check_velocity_shape
+
+
+@dataclass
+class SpectralOperators:
+    """Collection of Fourier-multiplier operators bound to one grid."""
+
+    grid: Grid
+
+    def __post_init__(self) -> None:
+        self.fft = FourierTransform(self.grid)
+
+    # ------------------------------------------------------------------ #
+    # cached spectral symbols
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def _ik(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Broadcastable ``i*k_j`` multipliers for the three derivatives.
+
+        The Nyquist modes are zeroed (see
+        :meth:`repro.spectral.grid.Grid.derivative_wavenumbers_1d`) so that
+        the discrete first derivatives are skew-adjoint and ``div P v``
+        vanishes identically after the Leray projection.
+        """
+        k1, k2, k3 = self.grid.wavenumber_mesh(real_last_axis=True, derivative=True)
+        return (1j * k1, 1j * k2, 1j * k3)
+
+    @cached_property
+    def _minus_ksq(self) -> np.ndarray:
+        """Laplacian symbol ``-|k|^2`` (negative semi-definite)."""
+        return self.grid.laplacian_symbol(real_last_axis=True)
+
+    @cached_property
+    def _inv_minus_ksq(self) -> np.ndarray:
+        """Pseudo-inverse of the Laplacian symbol (zero on the constant mode)."""
+        sym = self._minus_ksq
+        out = np.zeros_like(sym)
+        nonzero = sym != 0.0
+        out[nonzero] = 1.0 / sym[nonzero]
+        return out
+
+    @cached_property
+    def _ksq(self) -> np.ndarray:
+        return -self._minus_ksq
+
+    @cached_property
+    def _k4(self) -> np.ndarray:
+        """Biharmonic symbol ``|k|^4``."""
+        return self._ksq * self._ksq
+
+    @cached_property
+    def _inv_k4(self) -> np.ndarray:
+        """Pseudo-inverse of the biharmonic symbol."""
+        sym = self._k4
+        out = np.zeros_like(sym)
+        nonzero = sym != 0.0
+        out[nonzero] = 1.0 / sym[nonzero]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # scalar operators
+    # ------------------------------------------------------------------ #
+    def derivative(self, field: np.ndarray, axis: int) -> np.ndarray:
+        """Partial derivative ``d field / d x_axis``."""
+        if axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+        spectrum = self.fft.forward(field)
+        spectrum *= self._ik[axis]
+        return self.fft.backward(spectrum)
+
+    def gradient(self, field: np.ndarray) -> np.ndarray:
+        """Gradient of a scalar field, returned as ``(3, N1, N2, N3)``.
+
+        A single forward transform is shared by the three derivatives, which
+        mirrors the paper's optimization of the ``grad``/``div`` operators
+        (Sec. III-C1: avoid multiple 3D FFTs).
+        """
+        spectrum = self.fft.forward(field)
+        return np.stack(
+            [self.fft.backward(self._ik[axis] * spectrum) for axis in range(3)],
+            axis=0,
+        )
+
+    def laplacian(self, field: np.ndarray) -> np.ndarray:
+        """Scalar Laplacian ``lap field``."""
+        return self.fft.apply_symbol(field, self._minus_ksq)
+
+    def inverse_laplacian(self, field: np.ndarray) -> np.ndarray:
+        """Pseudo-inverse of the Laplacian (zero-mean result)."""
+        return self.fft.apply_symbol(field, self._inv_minus_ksq)
+
+    def biharmonic(self, field: np.ndarray) -> np.ndarray:
+        """Biharmonic operator ``lap^2 field``."""
+        return self.fft.apply_symbol(field, self._k4)
+
+    def inverse_biharmonic(self, field: np.ndarray) -> np.ndarray:
+        """Pseudo-inverse of the biharmonic operator."""
+        return self.fft.apply_symbol(field, self._inv_k4)
+
+    def apply_scalar_symbol(self, field: np.ndarray, symbol: np.ndarray) -> np.ndarray:
+        """Apply an arbitrary Fourier multiplier to a scalar field."""
+        return self.fft.apply_symbol(field, symbol)
+
+    # ------------------------------------------------------------------ #
+    # vector operators
+    # ------------------------------------------------------------------ #
+    def divergence(self, vector_field: np.ndarray) -> np.ndarray:
+        """Divergence of a ``(3, N1, N2, N3)`` vector field."""
+        vector_field = check_velocity_shape(vector_field, self.grid.shape)
+        spectrum = self.fft.forward(vector_field[0]) * self._ik[0]
+        spectrum += self.fft.forward(vector_field[1]) * self._ik[1]
+        spectrum += self.fft.forward(vector_field[2]) * self._ik[2]
+        return self.fft.backward(spectrum)
+
+    def vector_laplacian(self, vector_field: np.ndarray) -> np.ndarray:
+        """Component-wise Laplacian of a vector field."""
+        vector_field = check_velocity_shape(vector_field, self.grid.shape)
+        return np.stack([self.laplacian(vector_field[i]) for i in range(3)], axis=0)
+
+    def vector_biharmonic(self, vector_field: np.ndarray) -> np.ndarray:
+        """Component-wise biharmonic operator on a vector field."""
+        vector_field = check_velocity_shape(vector_field, self.grid.shape)
+        return np.stack([self.biharmonic(vector_field[i]) for i in range(3)], axis=0)
+
+    def apply_vector_symbol(self, vector_field: np.ndarray, symbol: np.ndarray) -> np.ndarray:
+        """Apply a Fourier multiplier to each component of a vector field."""
+        vector_field = check_velocity_shape(vector_field, self.grid.shape)
+        return np.stack(
+            [self.fft.apply_symbol(vector_field[i], symbol) for i in range(3)], axis=0
+        )
+
+    def curl(self, vector_field: np.ndarray) -> np.ndarray:
+        """Curl of a vector field (diagnostic for solenoidal fields)."""
+        vector_field = check_velocity_shape(vector_field, self.grid.shape)
+        spectra = [self.fft.forward(vector_field[i]) for i in range(3)]
+        ik1, ik2, ik3 = self._ik
+        c1 = self.fft.backward(ik2 * spectra[2] - ik3 * spectra[1])
+        c2 = self.fft.backward(ik3 * spectra[0] - ik1 * spectra[2])
+        c3 = self.fft.backward(ik1 * spectra[1] - ik2 * spectra[0])
+        return np.stack([c1, c2, c3], axis=0)
+
+    def jacobian(self, vector_field: np.ndarray) -> np.ndarray:
+        """Full Jacobian ``d v_i / d x_j`` of a vector field, shape ``(3, 3, ...)``."""
+        vector_field = check_velocity_shape(vector_field, self.grid.shape)
+        rows = []
+        for i in range(3):
+            spectrum = self.fft.forward(vector_field[i])
+            rows.append(
+                np.stack(
+                    [self.fft.backward(self._ik[j] * spectrum) for j in range(3)],
+                    axis=0,
+                )
+            )
+        return np.stack(rows, axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Leray projection
+    # ------------------------------------------------------------------ #
+    def leray_project(self, vector_field: np.ndarray) -> np.ndarray:
+        """Project a vector field onto its divergence-free part.
+
+        Implements ``P v = v - grad lap^{-1} div v`` (the Leray operator of
+        Eq. 4), applied entirely in the spectral domain:
+        ``P v^ = v^ - k (k . v^) / |k|^2``.
+        """
+        vector_field = check_velocity_shape(vector_field, self.grid.shape)
+        spectra = np.stack([self.fft.forward(vector_field[i]) for i in range(3)], axis=0)
+        k1, k2, k3 = self.grid.wavenumber_mesh(real_last_axis=True, derivative=True)
+        ksq = k1 * k1 + k2 * k2 + k3 * k3
+        inv_ksq = np.zeros_like(ksq)
+        nonzero = ksq != 0.0
+        inv_ksq[nonzero] = 1.0 / ksq[nonzero]
+        k_dot_v = k1 * spectra[0] + k2 * spectra[1] + k3 * spectra[2]
+        factor = k_dot_v * inv_ksq
+        projected = np.stack(
+            [
+                spectra[0] - k1 * factor,
+                spectra[1] - k2 * factor,
+                spectra[2] - k3 * factor,
+            ],
+            axis=0,
+        )
+        return np.stack([self.fft.backward(projected[i]) for i in range(3)], axis=0)
+
+    def is_divergence_free(self, vector_field: np.ndarray, tol: float = 1e-10) -> bool:
+        """Check (up to *tol*, relative) that ``div v`` vanishes."""
+        div = self.divergence(vector_field)
+        scale = max(self.grid.norm(vector_field), 1e-30)
+        return self.grid.norm(div) <= tol * scale

@@ -1,0 +1,26 @@
+"""Semi-Lagrangian transport in (pseudo-)time.
+
+The forward (state), backward (adjoint), incremental state and incremental
+adjoint transport equations of the optimality system (Eqs. 2b, 3, 5a, 5c) are
+all solved with the unconditionally stable semi-Lagrangian scheme of
+Sec. III-B2: a second-order Runge-Kutta backward characteristic trace followed
+by a Heun (explicit trapezoidal) update of the source term, with tricubic
+interpolation at the off-grid departure points.
+"""
+
+from repro.transport.interpolation import PeriodicInterpolator
+from repro.transport.semi_lagrangian import (
+    SemiLagrangianStepper,
+    compute_departure_points,
+)
+from repro.transport.solvers import TransportSolver
+from repro.transport.deformation import DeformationMap, deformation_gradient_determinant
+
+__all__ = [
+    "PeriodicInterpolator",
+    "SemiLagrangianStepper",
+    "compute_departure_points",
+    "TransportSolver",
+    "DeformationMap",
+    "deformation_gradient_determinant",
+]

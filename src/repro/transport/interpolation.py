@@ -1,0 +1,177 @@
+"""Periodic interpolation at off-grid (semi-Lagrangian) points.
+
+The semi-Lagrangian scheme needs the value of grid fields at irregularly
+spaced departure points, which "cannot be done using a FFT, since the
+interpolation points can be spaced irregularly between grid points"
+(Sec. III-B2).  The paper uses tricubic interpolation because linear
+interpolation accumulates too much error over the time steps.
+
+Three interpolation kernels are provided:
+
+``"cubic_bspline"`` (default)
+    Interpolating tricubic B-spline via :func:`scipy.ndimage.map_coordinates`
+    with a periodic (``grid-wrap``) boundary.  This is the fastest option in
+    pure Python and is 4th-order accurate for smooth fields.
+``"catmull_rom"``
+    Hand-written, fully vectorized tricubic convolution (Catmull-Rom kernel,
+    the classical "tricubic interpolation" of the paper, 64 coefficients per
+    point).  This is the kernel re-used verbatim by the distributed
+    interpolation in :mod:`repro.parallel`, where each rank evaluates it on
+    its local ghosted block.
+``"linear"``
+    Trilinear interpolation, provided as the ablation baseline
+    (``benchmarks/bench_ablation_interpolation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.spectral.grid import Grid
+
+_SUPPORTED_METHODS = ("cubic_bspline", "catmull_rom", "linear")
+
+#: Number of floating point operations per interpolated point for the
+#: tricubic kernel; the paper estimates "roughly 10 x 64" flops per point
+#: (Sec. III-C2).  Used by the performance model.
+TRICUBIC_FLOPS_PER_POINT = 640
+
+
+def catmull_rom_weights(t: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Catmull-Rom convolution weights for samples at offsets ``-1, 0, 1, 2``.
+
+    Parameters
+    ----------
+    t:
+        Fractional coordinate in ``[0, 1)`` relative to the base grid point.
+    """
+    t2 = t * t
+    t3 = t2 * t
+    w0 = -0.5 * t3 + t2 - 0.5 * t
+    w1 = 1.5 * t3 - 2.5 * t2 + 1.0
+    w2 = -1.5 * t3 + 2.0 * t2 + 0.5 * t
+    w3 = 0.5 * t3 - 0.5 * t2
+    return w0, w1, w2, w3
+
+
+def linear_weights(t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Linear interpolation weights for samples at offsets ``0, 1``."""
+    return 1.0 - t, t
+
+
+@dataclass
+class PeriodicInterpolator:
+    """Interpolate scalar grid fields at arbitrary points with periodic wrap.
+
+    Parameters
+    ----------
+    grid:
+        Grid on which the interpolated fields are defined.
+    method:
+        One of ``"cubic_bspline"``, ``"catmull_rom"`` or ``"linear"``.
+    """
+
+    grid: Grid
+    method: str = "cubic_bspline"
+
+    def __post_init__(self) -> None:
+        if self.method not in _SUPPORTED_METHODS:
+            raise ValueError(
+                f"unknown interpolation method {self.method!r}; "
+                f"expected one of {_SUPPORTED_METHODS}"
+            )
+        self._spacing = np.asarray(self.grid.spacing, dtype=np.float64)
+        self.points_interpolated = 0
+
+    # ------------------------------------------------------------------ #
+    # coordinate handling
+    # ------------------------------------------------------------------ #
+    def to_index_coordinates(self, points: np.ndarray) -> np.ndarray:
+        """Convert physical coordinates to (fractional, periodic) grid indices."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.shape[0] != 3:
+            raise ValueError(
+                f"points must be stacked as (3, ...), got leading dimension {points.shape[0]}"
+            )
+        flat = points.reshape(3, -1)
+        q = flat / self._spacing[:, None]
+        shape = np.asarray(self.grid.shape, dtype=np.float64)[:, None]
+        return np.mod(q, shape)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def __call__(self, field: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Interpolate *field* at *points*.
+
+        Parameters
+        ----------
+        field:
+            Scalar field of shape ``grid.shape``.
+        points:
+            Physical coordinates stacked as ``(3, ...)``; any trailing shape
+            is allowed and preserved in the output.
+        """
+        field = np.asarray(field)
+        if field.shape != self.grid.shape:
+            raise ValueError(
+                f"field has shape {field.shape}, expected {self.grid.shape}"
+            )
+        points = np.asarray(points, dtype=np.float64)
+        out_shape = points.shape[1:]
+        q = self.to_index_coordinates(points)
+        self.points_interpolated += q.shape[1]
+        if self.method == "cubic_bspline":
+            values = ndimage.map_coordinates(field, q, order=3, mode="grid-wrap")
+        elif self.method == "linear":
+            values = ndimage.map_coordinates(field, q, order=1, mode="grid-wrap")
+        else:  # catmull_rom
+            values = self._catmull_rom(field, q)
+        return values.reshape(out_shape).astype(self.grid.dtype, copy=False)
+
+    def interpolate_vector(self, vector_field: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Component-wise interpolation of a ``(3, N1, N2, N3)`` field."""
+        vector_field = np.asarray(vector_field)
+        if vector_field.shape != (3, *self.grid.shape):
+            raise ValueError(
+                f"vector field has shape {vector_field.shape}, "
+                f"expected {(3, *self.grid.shape)}"
+            )
+        return np.stack([self(vector_field[i], points) for i in range(3)], axis=0)
+
+    # ------------------------------------------------------------------ #
+    # kernels
+    # ------------------------------------------------------------------ #
+    def _catmull_rom(self, field: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Vectorized tricubic (Catmull-Rom) convolution on periodic data."""
+        n1, n2, n3 = self.grid.shape
+        base = np.floor(q).astype(np.intp)
+        frac = q - base
+
+        weights = [catmull_rom_weights(frac[d]) for d in range(3)]
+        idx = []
+        for d, n in enumerate((n1, n2, n3)):
+            idx.append([(base[d] + offset - 1) % n for offset in range(4)])
+
+        values = np.zeros(q.shape[1], dtype=np.float64)
+        for a in range(4):
+            ia = idx[0][a]
+            wa = weights[0][a]
+            for b in range(4):
+                ib = idx[1][b]
+                wab = wa * weights[1][b]
+                for c in range(4):
+                    values += wab * weights[2][c] * field[ia, ib, idx[2][c]]
+        return values
+
+    def flops(self) -> int:
+        """Estimated floating point work of all interpolations so far."""
+        if self.method == "linear":
+            per_point = 24
+        else:
+            per_point = TRICUBIC_FLOPS_PER_POINT
+        return per_point * self.points_interpolated

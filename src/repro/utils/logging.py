@@ -1,0 +1,73 @@
+"""Light-weight logging facade.
+
+The solver reports per-iteration convergence information (objective value,
+gradient norm, PCG iterations, step length) the same way the paper's C++
+implementation streams its convergence history.  We keep this on top of the
+standard :mod:`logging` module so downstream users can redirect everything
+through their own handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    """Attach a single stream handler to the package root logger."""
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s %(name)s] %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger nested under the package root.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"core.optim"``.  The returned logger is
+        ``repro.core.optim``.
+    """
+    _configure_root()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the verbosity of every logger in the package.
+
+    Parameters
+    ----------
+    level:
+        Either a :mod:`logging` level constant (``logging.INFO``) or one of
+        the strings ``"quiet"``, ``"info"``, ``"debug"``.
+    """
+    _configure_root()
+    if isinstance(level, str):
+        mapping = {
+            "quiet": logging.WARNING,
+            "warning": logging.WARNING,
+            "info": logging.INFO,
+            "debug": logging.DEBUG,
+        }
+        try:
+            level = mapping[level.lower()]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise ValueError(
+                f"unknown verbosity {level!r}; expected one of {sorted(mapping)}"
+            ) from exc
+    logging.getLogger(_ROOT_NAME).setLevel(level)

@@ -1,0 +1,118 @@
+"""Wall-clock timing helpers.
+
+The paper reports, for every run, the time-to-solution plus a breakdown into
+FFT communication/execution and interpolation communication/execution
+(Tables I-IV).  :class:`TimingRegistry` mirrors that breakdown: the solver
+wraps its kernels in named :class:`Timer` sections and the registry
+accumulates the totals so the benchmark harness can print the same columns.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating timer for one named section.
+
+    Attributes
+    ----------
+    name:
+        Section label (for example ``"fft_execution"``).
+    total:
+        Accumulated seconds across all calls.
+    calls:
+        Number of start/stop cycles.
+    """
+
+    name: str
+    total: float = 0.0
+    calls: int = 0
+    _started: float | None = None
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError(f"timer {self.name!r} is not running")
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.total += elapsed
+        self.calls += 1
+        return elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call (0 if never called)."""
+        return self.total / self.calls if self.calls else 0.0
+
+
+# Section names used throughout the solver so that the benchmark harness can
+# assemble the same columns the paper reports.
+FFT_EXECUTION = "fft_execution"
+FFT_COMMUNICATION = "fft_communication"
+INTERP_EXECUTION = "interp_execution"
+INTERP_COMMUNICATION = "interp_communication"
+TIME_TO_SOLUTION = "time_to_solution"
+
+
+@dataclass
+class TimingRegistry:
+    """Collection of named timers with the paper's reporting categories."""
+
+    timers: Dict[str, Timer] = field(default_factory=dict)
+
+    def timer(self, name: str) -> Timer:
+        """Return (creating if needed) the timer called *name*."""
+        if name not in self.timers:
+            self.timers[name] = Timer(name)
+        return self.timers[name]
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[Timer]:
+        """Context manager accumulating the elapsed time into *name*."""
+        t = self.timer(name)
+        t.start()
+        try:
+            yield t
+        finally:
+            t.stop()
+
+    def total(self, name: str) -> float:
+        """Total seconds spent in *name* (0 if the section never ran)."""
+        return self.timers[name].total if name in self.timers else 0.0
+
+    def reset(self) -> None:
+        self.timers.clear()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of section totals, suitable for reports."""
+        return {name: timer.total for name, timer in sorted(self.timers.items())}
+
+    def merge(self, other: "TimingRegistry") -> None:
+        """Accumulate the totals of *other* into this registry."""
+        for name, timer in other.timers.items():
+            mine = self.timer(name)
+            mine.total += timer.total
+            mine.calls += timer.calls
+
+    def paper_breakdown(self) -> Dict[str, float]:
+        """Breakdown with the exact columns of the paper's tables."""
+        return {
+            "time_to_solution": self.total(TIME_TO_SOLUTION),
+            "fft_communication": self.total(FFT_COMMUNICATION),
+            "fft_execution": self.total(FFT_EXECUTION),
+            "interp_communication": self.total(INTERP_COMMUNICATION),
+            "interp_execution": self.total(INTERP_EXECUTION),
+        }

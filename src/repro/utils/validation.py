@@ -1,0 +1,63 @@
+"""Argument validation helpers.
+
+Every public entry point validates its inputs through these helpers so that
+misuse produces a clear ``ValueError``/``TypeError`` instead of a cryptic
+numpy broadcasting failure three layers down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure *value* is a finite, strictly positive scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Ensure *value* is a strictly positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Ensure *value* lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_shape_3d(shape: Sequence[int], name: str = "shape") -> Tuple[int, int, int]:
+    """Validate a 3D grid shape (three positive integers)."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 3:
+        raise ValueError(f"{name} must have exactly 3 entries, got {len(shape)}")
+    for s in shape:
+        if s < 2:
+            raise ValueError(f"every entry of {name} must be >= 2, got {shape}")
+    return shape  # type: ignore[return-value]
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, names: str = "arrays") -> None:
+    """Raise if the two arrays do not share the same shape."""
+    if a.shape != b.shape:
+        raise ValueError(f"{names} must have identical shapes, got {a.shape} and {b.shape}")
+
+
+def check_velocity_shape(v: np.ndarray, grid_shape: Sequence[int]) -> np.ndarray:
+    """Validate a stacked velocity array of shape ``(3, N1, N2, N3)``."""
+    v = np.asarray(v)
+    expected = (3, *tuple(int(s) for s in grid_shape))
+    if v.shape != expected:
+        raise ValueError(f"velocity must have shape {expected}, got {v.shape}")
+    return v

@@ -1,0 +1,131 @@
+"""Tests for repro.analysis: paper tables, reporting, experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    measure_solver_iterations,
+    reproduce_scaling_table,
+    reproduce_synthetic_problem,
+)
+from repro.analysis.paper_tables import (
+    TABLE_I,
+    TABLE_II,
+    TABLE_III,
+    TABLE_IV,
+    TABLE_V,
+    paper_table,
+    strong_scaling_groups,
+)
+from repro.analysis.reporting import format_breakdown_table, format_rows
+
+
+class TestPaperTables:
+    def test_row_counts_match_paper(self):
+        assert len(TABLE_I) == 13   # runs #1-#13
+        assert len(TABLE_II) == 6   # runs #14-#19
+        assert len(TABLE_III) == 5  # runs #20-#24
+        assert len(TABLE_IV) == 5   # runs #25-#29
+        assert len(TABLE_V) == 3    # runs #30-#32
+
+    def test_run_ids_are_unique_and_sequential(self):
+        ids = [run.run_id for run in TABLE_I + TABLE_II + TABLE_III + TABLE_IV]
+        assert ids == list(range(1, 30))
+
+    def test_lookup_by_name(self):
+        assert paper_table("i") == TABLE_I
+        assert paper_table("IV") == TABLE_IV
+        with pytest.raises(ValueError):
+            paper_table("VI")
+
+    def test_headline_result(self):
+        # the paper's headline: 256^3 registration in under five seconds on 64 nodes
+        run10 = next(r for r in TABLE_I if r.run_id == 10)
+        assert run10.grid == (256, 256, 256)
+        assert run10.nodes == 64
+        assert run10.time_to_solution < 5.0
+
+    def test_kernel_sum_below_time_to_solution(self):
+        for run in TABLE_I + TABLE_II + TABLE_IV:
+            assert run.kernel_sum <= run.time_to_solution * 1.05
+
+    def test_strong_scaling_groups(self):
+        groups = strong_scaling_groups(TABLE_I)
+        assert set(groups) == {(64,) * 3, (128,) * 3, (256,) * 3, (512,) * 3}
+        for rows in groups.values():
+            tasks = [r.tasks for r in rows]
+            assert tasks == sorted(tasks)
+            # within each group the time decreases as tasks increase
+            times = [r.time_to_solution for r in rows]
+            assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_table5_growth(self):
+        matvecs = [TABLE_V[b][0] for b in sorted(TABLE_V, reverse=True)]
+        assert matvecs == sorted(matvecs)
+        assert TABLE_V[1e-5][2] == pytest.approx(35.0)
+
+    def test_incompressible_flag(self):
+        assert all(r.incompressible for r in TABLE_III)
+        assert not any(r.incompressible for r in TABLE_I)
+
+
+class TestReporting:
+    def test_format_rows_alignment_and_title(self):
+        text = format_rows(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.000123}], title="demo table"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo table"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_rows_empty(self):
+        assert "(empty)" in format_rows([], title="nothing")
+
+    def test_format_value_styles(self):
+        text = format_rows([{"x": None, "flag": True, "big": 12345.0, "tiny": 1e-6}])
+        assert "-" in text
+        assert "yes" in text
+        assert "e" in text.lower()
+
+    def test_format_breakdown_table(self):
+        entries = reproduce_scaling_table("I")[:4]
+        text = format_breakdown_table(entries, title="Table I excerpt")
+        assert "time_to_solution" in text
+        assert "paper" in text and "model" in text
+
+
+class TestExperimentDrivers:
+    def test_reproduce_scaling_table_structure(self):
+        entries = reproduce_scaling_table("I", num_hessian_matvecs=2)
+        assert len(entries) == 2 * len(TABLE_I)
+        paper_entries = [e for e in entries if e["source"] == "paper"]
+        model_entries = [e for e in entries if e["source"] == "model"]
+        assert len(paper_entries) == len(model_entries)
+        for entry in model_entries:
+            assert entry["time_to_solution"] > 0
+            assert entry["interp_execution"] > 0
+
+    def test_model_projection_shape_against_paper(self):
+        """Shape check: modeled times within a factor of ~3 of the paper for
+        the Maverick rows, and strong scaling preserved (more tasks -> faster)."""
+        entries = reproduce_scaling_table("I", num_hessian_matvecs=2)
+        by_run = {}
+        for entry in entries:
+            by_run.setdefault(entry["label"], {})[entry["source"]] = entry
+        for label, pair in by_run.items():
+            ratio = pair["model"]["time_to_solution"] / pair["paper"]["time_to_solution"]
+            assert 0.2 < ratio < 3.5, label
+
+    def test_measure_solver_iterations(self):
+        counts = measure_solver_iterations(resolution=12, num_newton_iterations=2)
+        assert counts["newton_iterations"] <= 2
+        assert counts["hessian_matvecs"] >= 1
+        assert counts["relative_residual"] < 1.0
+        assert counts["source"] == "measured"
+
+    def test_reproduce_synthetic_problem_small(self):
+        summary = reproduce_synthetic_problem(resolution=12, max_newton_iterations=4)
+        assert summary["relative_residual"] < 1.0
+        assert summary["det_grad_min"] > 0.0
+        assert summary["source"] == "measured"

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test-suite.
+
+All fixtures deliberately use very small grids (8^3 - 16^3) so that the full
+suite (several hundred tests) runs in a few minutes; correctness of the
+spectral and semi-Lagrangian kernels does not depend on resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spectral.grid import Grid
+from repro.spectral.operators import SpectralOperators
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20160613)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> Grid:
+    """Isotropic 16^3 grid on [0, 2*pi)^3."""
+    return Grid((16, 16, 16))
+
+
+@pytest.fixture(scope="session")
+def tiny_grid() -> Grid:
+    """Isotropic 8^3 grid for the most expensive solver tests."""
+    return Grid((8, 8, 8))
+
+
+@pytest.fixture(scope="session")
+def anisotropic_grid() -> Grid:
+    """Anisotropic grid (different point counts per dimension)."""
+    return Grid((8, 12, 10))
+
+
+@pytest.fixture(scope="session")
+def small_operators(small_grid: Grid) -> SpectralOperators:
+    return SpectralOperators(small_grid)
+
+
+def smooth_scalar_field(grid: Grid, seed: int = 0, modes: int = 2) -> np.ndarray:
+    """Band-limited random smooth scalar field (exactly representable)."""
+    rng_local = np.random.default_rng(seed)
+    x1, x2, x3 = grid.coordinates(sparse=True)
+    field = np.zeros(grid.shape, dtype=grid.dtype)
+    for _ in range(4):
+        k = rng_local.integers(1, modes + 1, size=3)
+        phase = rng_local.uniform(0, 2 * np.pi, size=3)
+        amp = rng_local.uniform(0.2, 1.0)
+        field = field + amp * (
+            np.sin(k[0] * x1 + phase[0])
+            * np.sin(k[1] * x2 + phase[1])
+            * np.sin(k[2] * x3 + phase[2])
+        )
+    return field
+
+
+def smooth_vector_field(grid: Grid, seed: int = 0, modes: int = 2) -> np.ndarray:
+    """Band-limited random smooth vector field."""
+    return np.stack(
+        [smooth_scalar_field(grid, seed=seed + comp, modes=modes) for comp in range(3)],
+        axis=0,
+    )
+
+
+@pytest.fixture()
+def smooth_field(small_grid: Grid) -> np.ndarray:
+    return smooth_scalar_field(small_grid, seed=3)
+
+
+@pytest.fixture()
+def smooth_velocity(small_grid: Grid) -> np.ndarray:
+    return 0.5 * smooth_vector_field(small_grid, seed=11)

@@ -1,0 +1,201 @@
+"""Tests for the optimization building blocks: PCG, line search, preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.optim.line_search import ArmijoLineSearch
+from repro.core.optim.pcg import pcg
+from repro.core.preconditioner import SpectralPreconditioner
+from repro.core.regularization import H1Regularization
+from repro.spectral.grid import Grid
+from repro.spectral.operators import SpectralOperators
+
+from tests.conftest import smooth_vector_field
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid((8, 8, 8))
+
+
+@pytest.fixture(scope="module")
+def ops(grid):
+    return SpectralOperators(grid)
+
+
+def spd_operator(grid, ops, alpha=1.0):
+    """A simple SPD operator on velocity fields: alpha*I - laplacian."""
+
+    def apply(v):
+        return alpha * v - ops.vector_laplacian(v)
+
+    return apply
+
+
+class TestPCG:
+    def test_solves_spd_system(self, grid, ops):
+        matvec = spd_operator(grid, ops)
+        rhs = 0.5 * smooth_vector_field(grid, seed=1)
+        result = pcg(matvec, rhs, grid, rel_tol=1e-10, max_iterations=200)
+        assert result.converged
+        np.testing.assert_allclose(matvec(result.solution), rhs, atol=1e-7)
+
+    def test_zero_rhs_returns_zero(self, grid, ops):
+        result = pcg(spd_operator(grid, ops), grid.zeros_vector(), grid)
+        assert result.iterations == 0
+        assert result.converged
+        np.testing.assert_array_equal(result.solution, 0.0)
+
+    def test_respects_relative_tolerance(self, grid, ops):
+        matvec = spd_operator(grid, ops)
+        rhs = smooth_vector_field(grid, seed=2)
+        loose = pcg(matvec, rhs, grid, rel_tol=1e-1, max_iterations=100)
+        tight = pcg(matvec, rhs, grid, rel_tol=1e-8, max_iterations=100)
+        assert loose.iterations <= tight.iterations
+        assert loose.final_relative_residual <= 1e-1
+
+    def test_max_iterations_cap(self, grid, ops):
+        matvec = spd_operator(grid, ops)
+        rhs = smooth_vector_field(grid, seed=3)
+        result = pcg(matvec, rhs, grid, rel_tol=1e-14, max_iterations=2)
+        assert result.iterations == 2
+        assert not result.converged
+
+    def test_negative_curvature_detected(self, grid):
+        result = pcg(lambda v: -v, smooth_vector_field(grid, seed=4), grid, rel_tol=1e-8)
+        assert result.negative_curvature
+        # falls back to the preconditioned gradient direction
+        assert np.any(result.solution)
+
+    def test_preconditioner_reduces_iterations(self, grid, ops):
+        # ill-conditioned operator: biharmonic plus small identity
+        def matvec(v):
+            return 1e-3 * v + ops.vector_biharmonic(v)
+
+        def preconditioner(r):
+            sym = ops._k4.copy()
+            sym = 1.0 / (1e-3 + sym)
+            return ops.apply_vector_symbol(r, sym)
+
+        rhs = smooth_vector_field(grid, seed=5)
+        plain = pcg(matvec, rhs, grid, rel_tol=1e-8, max_iterations=300)
+        prec = pcg(matvec, rhs, grid, preconditioner=preconditioner, rel_tol=1e-8, max_iterations=300)
+        assert prec.iterations < plain.iterations
+
+    def test_initial_guess_supported(self, grid, ops):
+        matvec = spd_operator(grid, ops)
+        rhs = smooth_vector_field(grid, seed=6)
+        exact = pcg(matvec, rhs, grid, rel_tol=1e-12, max_iterations=300).solution
+        warm = pcg(matvec, rhs, grid, rel_tol=1e-10, max_iterations=300, x0=exact)
+        assert warm.iterations <= 2
+
+    def test_invalid_arguments(self, grid, ops):
+        with pytest.raises(ValueError):
+            pcg(spd_operator(grid, ops), grid.zeros_vector(), grid, rel_tol=-1.0)
+        with pytest.raises(ValueError):
+            pcg(spd_operator(grid, ops), grid.zeros_vector(), grid, max_iterations=0)
+
+
+class TestArmijoLineSearch:
+    @staticmethod
+    def quadratic(grid):
+        center = 0.3 * np.ones((3, *grid.shape))
+
+        def objective(v):
+            return float(0.5 * grid.inner(v - center, v - center))
+
+        return objective, center
+
+    def test_accepts_full_newton_step(self, grid):
+        objective, center = self.quadratic(grid)
+        v = grid.zeros_vector()
+        gradient = v - center
+        direction = -gradient
+        ls = ArmijoLineSearch()
+        result = ls.search(objective, grid, v, objective(v), gradient, direction)
+        assert result.success
+        assert result.step_length == pytest.approx(1.0)
+        assert result.objective < objective(v)
+
+    def test_backtracks_on_too_long_direction(self, grid):
+        objective, center = self.quadratic(grid)
+        v = grid.zeros_vector()
+        gradient = v - center
+        direction = -20.0 * gradient  # overshoots badly
+        result = ArmijoLineSearch().search(objective, grid, v, objective(v), gradient, direction)
+        assert result.success
+        assert result.step_length < 1.0
+
+    def test_reflects_ascent_direction(self, grid):
+        objective, center = self.quadratic(grid)
+        v = grid.zeros_vector()
+        gradient = v - center
+        direction = gradient  # ascent direction
+        result = ArmijoLineSearch().search(objective, grid, v, objective(v), gradient, direction)
+        assert result.success
+        assert result.step_length < 0.0  # signed step along the original direction
+
+    def test_failure_after_max_evaluations(self, grid):
+        v = grid.zeros_vector()
+        gradient = -np.ones((3, *grid.shape))
+        direction = np.ones((3, *grid.shape))
+        # objective that never decreases
+        result = ArmijoLineSearch(max_evaluations=5).search(
+            lambda x: 1.0 + float(np.sum(x**2)), grid, v, 1.0, gradient, direction
+        )
+        assert not result.success
+        assert result.step_length == 0.0
+        assert result.evaluations == 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ArmijoLineSearch(contraction=1.5)
+        with pytest.raises(ValueError):
+            ArmijoLineSearch(max_evaluations=0)
+        with pytest.raises(ValueError):
+            ArmijoLineSearch(c1=-1.0)
+
+
+class TestSpectralPreconditioner:
+    def test_variants(self, ops):
+        reg = H1Regularization(ops, 1e-2)
+        for variant in ("inverse_regularization", "shifted", "none"):
+            prec = SpectralPreconditioner(reg, variant)
+            v = smooth_vector_field(ops.grid, seed=7)
+            out = prec(v)
+            assert out.shape == v.shape
+        with pytest.raises(ValueError):
+            SpectralPreconditioner(reg, "multigrid")
+
+    def test_none_variant_is_identity(self, ops):
+        reg = H1Regularization(ops, 1e-2)
+        prec = SpectralPreconditioner(reg, "none")
+        v = smooth_vector_field(ops.grid, seed=8)
+        np.testing.assert_array_equal(prec(v), v)
+
+    def test_inverse_regularization_inverts_operator(self, ops):
+        reg = H1Regularization(ops, 0.5)
+        prec = SpectralPreconditioner(reg, "inverse_regularization")
+        v = smooth_vector_field(ops.grid, seed=9)
+        v -= v.mean(axis=(1, 2, 3), keepdims=True)
+        np.testing.assert_allclose(prec(reg.gradient(v)), v, atol=1e-8)
+
+    def test_preconditioner_is_spd(self, ops):
+        reg = H1Regularization(ops, 1e-2)
+        for variant in ("inverse_regularization", "shifted"):
+            prec = SpectralPreconditioner(reg, variant)
+            a = smooth_vector_field(ops.grid, seed=10)
+            b = smooth_vector_field(ops.grid, seed=11)
+            assert ops.grid.inner(prec(a), b) == pytest.approx(
+                ops.grid.inner(a, prec(b)), rel=1e-9
+            )
+            assert ops.grid.inner(prec(a), a) > 0.0
+
+    def test_rebuild_with_new_beta(self, ops):
+        reg = H1Regularization(ops, 1e-2)
+        prec = SpectralPreconditioner(reg)
+        new = prec.rebuild(reg.with_beta(1e-3))
+        v = smooth_vector_field(ops.grid, seed=12)
+        v -= v.mean(axis=(1, 2, 3), keepdims=True)
+        # smaller beta -> larger preconditioned output on non-constant modes
+        assert ops.grid.norm(new(v)) > ops.grid.norm(prec(v))

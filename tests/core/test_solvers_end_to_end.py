@@ -1,0 +1,259 @@
+"""Tests for the Gauss-Newton-Krylov driver, the gradient-descent baseline,
+the beta continuation and the high-level registration front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    determinant_summary,
+    dice_overlap,
+    max_pointwise_residual,
+    mismatch_reduction,
+    relative_residual,
+    residual_norm,
+)
+from repro.core.optim.continuation import BetaContinuation
+from repro.core.optim.gauss_newton import GaussNewtonKrylov, SolverOptions
+from repro.core.optim.gradient_descent import GradientDescent
+from repro.core.problem import RegistrationProblem
+from repro.core.registration import RegistrationSolver, register
+from repro.data.synthetic import synthetic_registration_problem
+from repro.spectral.grid import Grid
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return synthetic_registration_problem(12)
+
+
+@pytest.fixture(scope="module")
+def problem(synthetic):
+    return RegistrationProblem(
+        grid=synthetic.grid,
+        reference=synthetic.reference,
+        template=synthetic.template,
+        beta=1e-2,
+    )
+
+
+def quick_options(**overrides):
+    defaults = dict(
+        gradient_tolerance=1e-2,
+        max_newton_iterations=6,
+        max_krylov_iterations=15,
+    )
+    defaults.update(overrides)
+    return SolverOptions(**defaults)
+
+
+class TestSolverOptions:
+    def test_quadratic_forcing(self):
+        options = SolverOptions(forcing="quadratic", forcing_max=0.5)
+        assert options.forcing_term(1.0, 1.0) == pytest.approx(0.5)
+        assert options.forcing_term(1e-4, 1.0) == pytest.approx(1e-2)
+
+    def test_linear_and_constant_forcing(self):
+        assert SolverOptions(forcing="linear").forcing_term(0.1, 1.0) == pytest.approx(0.1)
+        assert SolverOptions(forcing="constant", constant_forcing=0.3).forcing_term(
+            1e-8, 1.0
+        ) == pytest.approx(0.3)
+
+    def test_unknown_forcing_rejected(self):
+        with pytest.raises(ValueError):
+            SolverOptions(forcing="cubic").forcing_term(1.0, 1.0)
+
+
+class TestGaussNewtonKrylov:
+    def test_reduces_objective_and_gradient(self, problem):
+        solver = GaussNewtonKrylov(problem, quick_options())
+        result = solver.solve()
+        assert result.num_iterations >= 1
+        first = result.iterations[0]
+        assert result.final_iterate.objective.total <= first.objective
+        assert result.final_gradient_norm < result.iterations[0].gradient_norm * 5
+
+    def test_converges_on_easy_problem(self, problem):
+        result = GaussNewtonKrylov(problem, quick_options(max_newton_iterations=10)).solve()
+        assert result.converged
+        assert result.termination_reason == "gradient_tolerance"
+        # gradient reduced by the requested factor
+        rel = result.final_gradient_norm / result.iterations[0].gradient_norm
+        assert rel < 0.2
+
+    def test_zero_iteration_budget_equivalent(self, problem):
+        result = GaussNewtonKrylov(problem, quick_options(max_newton_iterations=1)).solve()
+        assert result.num_iterations <= 1
+
+    def test_wall_clock_budget(self, problem):
+        result = GaussNewtonKrylov(
+            problem, quick_options(max_wall_clock_seconds=0.0, max_newton_iterations=50)
+        ).solve()
+        assert result.termination_reason in ("wall_clock_budget", "gradient_tolerance")
+        assert result.num_iterations <= 1
+
+    def test_records_are_consistent(self, problem):
+        result = GaussNewtonKrylov(problem, quick_options(max_newton_iterations=3)).solve()
+        total = sum(r.hessian_matvecs for r in result.iterations)
+        assert total <= result.total_hessian_matvecs + 2
+        table = result.convergence_table()
+        assert len(table) == result.num_iterations
+        assert all("objective" in row for row in table)
+
+    def test_warm_start_from_given_velocity(self, problem, synthetic):
+        result = GaussNewtonKrylov(problem, quick_options(max_newton_iterations=2)).solve(
+            initial_velocity=0.5 * synthetic.true_velocity
+        )
+        assert result.final_iterate.objective.total < problem.evaluate_objective(
+            problem.zero_velocity()
+        ).total
+
+
+class TestGradientDescentBaseline:
+    def test_descent_reduces_objective(self, problem):
+        result = GradientDescent(problem, quick_options(max_newton_iterations=5)).solve()
+        assert result.num_iterations >= 1
+        assert result.total_hessian_matvecs == 0
+        objectives = [r.objective for r in result.iterations]
+        assert objectives[-1] <= objectives[0]
+
+    def test_newton_converges_faster_than_descent(self, problem):
+        budget = 5
+        newton = GaussNewtonKrylov(
+            problem, quick_options(gradient_tolerance=1e-6, max_newton_iterations=budget)
+        ).solve()
+        descent = GradientDescent(
+            problem, quick_options(gradient_tolerance=1e-6, max_newton_iterations=budget)
+        ).solve()
+        assert newton.final_iterate.objective.total <= descent.final_iterate.objective.total * 1.05
+
+
+class TestBetaContinuation:
+    def test_continuation_reduces_beta_and_residual(self, synthetic):
+        problem = RegistrationProblem(
+            grid=synthetic.grid,
+            reference=synthetic.reference,
+            template=synthetic.template,
+            beta=1e-1,
+        )
+        continuation = BetaContinuation(
+            problem,
+            quick_options(max_newton_iterations=3),
+            initial_beta=1e-1,
+            target_beta=1e-3,
+            reduction=0.1,
+            det_grad_bound=0.05,
+        )
+        result = continuation.run()
+        assert result.num_levels >= 2
+        assert result.final_beta <= 1e-1
+        assert result.total_hessian_matvecs > 0
+        # the accepted map must satisfy the regularity bound
+        accepted = [s for s in result.steps if s.accepted]
+        assert all(s.det_grad_min >= 0.05 for s in accepted)
+
+    def test_parameter_validation(self, problem):
+        with pytest.raises(ValueError):
+            BetaContinuation(problem, initial_beta=1e-3, target_beta=1e-1)
+        with pytest.raises(ValueError):
+            BetaContinuation(problem, reduction=1.5)
+        with pytest.raises(ValueError):
+            BetaContinuation(problem, max_levels=0)
+
+
+class TestRegistrationFrontEnd:
+    def test_register_reduces_residual(self, synthetic):
+        result = register(
+            synthetic.template,
+            synthetic.reference,
+            beta=1e-2,
+            options=quick_options(),
+            grid=synthetic.grid,
+        )
+        assert result.relative_residual < 1.0
+        assert result.residual_after < result.residual_before
+        assert result.is_diffeomorphic
+        summary = result.summary()
+        assert set(summary) >= {
+            "converged",
+            "newton_iterations",
+            "hessian_matvecs",
+            "relative_residual",
+            "det_grad_min",
+            "time_to_solution",
+        }
+
+    def test_incompressible_registration_is_volume_preserving(self):
+        problem = synthetic_registration_problem(12, incompressible=True)
+        result = register(
+            problem.template,
+            problem.reference,
+            beta=1e-2,
+            incompressible=True,
+            options=quick_options(),
+            grid=problem.grid,
+        )
+        assert abs(result.det_grad_stats["min"] - 1.0) < 0.2
+        assert abs(result.det_grad_stats["max"] - 1.0) < 0.2
+
+    def test_shape_mismatch_rejected(self, synthetic):
+        with pytest.raises(ValueError):
+            register(synthetic.template, synthetic.reference[:-1])
+
+    def test_unknown_optimizer_rejected(self, synthetic):
+        solver = RegistrationSolver(optimizer="adam", options=quick_options())
+        with pytest.raises(ValueError):
+            solver.run(synthetic.template, synthetic.reference, grid=synthetic.grid)
+
+    def test_grid_shape_must_match_images(self, synthetic):
+        solver = RegistrationSolver(options=quick_options())
+        with pytest.raises(ValueError):
+            solver.run(synthetic.template, synthetic.reference, grid=Grid((8, 8, 8)))
+
+    def test_gradient_descent_front_end(self, synthetic):
+        result = register(
+            synthetic.template,
+            synthetic.reference,
+            optimizer="gradient_descent",
+            options=quick_options(max_newton_iterations=4),
+            grid=synthetic.grid,
+        )
+        assert result.num_hessian_matvecs == 0
+        assert result.relative_residual <= 1.0
+
+
+class TestMetrics:
+    def test_residual_norms(self, synthetic):
+        grid = synthetic.grid
+        assert residual_norm(synthetic.reference, synthetic.reference, grid) == 0.0
+        before = residual_norm(synthetic.reference, synthetic.template, grid)
+        assert before > 0.0
+        assert relative_residual(
+            synthetic.reference, synthetic.template, synthetic.template, grid
+        ) == pytest.approx(1.0)
+        assert mismatch_reduction(
+            synthetic.reference, synthetic.template, synthetic.reference, grid
+        ) == pytest.approx(1.0)
+
+    def test_max_pointwise_residual(self):
+        a = np.zeros((4, 4, 4))
+        b = np.zeros((4, 4, 4))
+        b[1, 2, 3] = 2.5
+        assert max_pointwise_residual(a, b) == 2.5
+
+    def test_determinant_summary(self):
+        det = np.array([[[0.5, 1.0], [1.5, -0.1]]])
+        stats = determinant_summary(det)
+        assert stats["min"] == pytest.approx(-0.1)
+        assert stats["max"] == pytest.approx(1.5)
+        assert stats["fraction_nonpositive"] == pytest.approx(0.25)
+
+    def test_dice_overlap(self):
+        a = np.zeros((4, 4, 4), dtype=bool)
+        b = np.zeros((4, 4, 4), dtype=bool)
+        assert dice_overlap(a, b) == 1.0
+        a[:2] = True
+        b[:2] = True
+        assert dice_overlap(a, b) == 1.0
+        b[:] = False
+        b[2:] = True
+        assert dice_overlap(a, b) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import save_problem
+from repro.data.synthetic import synthetic_registration_problem
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_register_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["register"])
+
+    def test_register_sources_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["register", "--synthetic", "8", "--brain", "8"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["register", "--synthetic", "16"])
+        assert args.beta == pytest.approx(1e-2)
+        assert args.nt == 4
+        assert args.optimizer == "gauss_newton"
+
+
+class TestRegisterCommand:
+    def test_synthetic_registration_writes_output(self, tmp_path, capsys):
+        out = tmp_path / "result.npz"
+        code = main(
+            [
+                "register",
+                "--synthetic", "12",
+                "--beta", "1e-2",
+                "--max-newton", "4",
+                "--max-krylov", "8",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Registration summary" in captured
+        assert out.exists()
+        with np.load(out) as data:
+            assert data["velocity"].shape == (3, 12, 12, 12)
+            assert data["determinant"].shape == (12, 12, 12)
+            assert float(data["residual_after"]) < float(data["residual_before"])
+
+    def test_registration_from_npz_input(self, tmp_path, capsys):
+        problem = synthetic_registration_problem(12)
+        path = tmp_path / "pair.npz"
+        save_problem(path, problem.reference, problem.template, grid=problem.grid)
+        code = main(
+            ["register", "--input", str(path), "--max-newton", "3", "--max-krylov", "6"]
+        )
+        assert code == 0
+        assert "Registration summary" in capsys.readouterr().out
+
+    def test_brain_incompressible_run(self, capsys):
+        code = main(
+            [
+                "register",
+                "--brain", "12",
+                "--incompressible",
+                "--beta", "1e-2",
+                "--max-newton", "2",
+                "--max-krylov", "6",
+            ]
+        )
+        assert code == 0
+        assert "Registration summary" in capsys.readouterr().out
+
+
+class TestScalingCommand:
+    def test_table_output(self, capsys):
+        assert main(["scaling", "--table", "I"]) == 0
+        out = capsys.readouterr().out
+        assert "run #1" in out
+        assert "paper" in out and "model" in out
+
+    def test_custom_configuration(self, capsys):
+        assert main(["scaling", "--grid", "128", "--tasks", "64", "--machine", "maverick"]) == 0
+        out = capsys.readouterr().out
+        assert "Modeled cost" in out
+        assert "128^3" in out
+
+    def test_missing_arguments_is_an_error(self, capsys):
+        assert main(["scaling"]) == 2

@@ -1,0 +1,105 @@
+"""Tests for the distributed semi-Lagrangian transport."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import sinusoidal_template, synthetic_velocity
+from repro.parallel.comm import SimulatedCommunicator
+from repro.parallel.pencil import PencilDecomposition
+from repro.parallel.transport import DistributedSemiLagrangian, DistributedTransportSolver
+from repro.spectral.grid import Grid
+from repro.transport.semi_lagrangian import SemiLagrangianStepper, compute_departure_points
+from repro.transport.interpolation import PeriodicInterpolator
+from repro.transport.solvers import TransportSolver
+
+from tests.conftest import smooth_scalar_field, smooth_vector_field
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid((16, 16, 16))
+
+
+@pytest.fixture(scope="module")
+def velocity(grid):
+    return 0.5 * smooth_vector_field(grid, seed=4)
+
+
+class TestDistributedSemiLagrangian:
+    @pytest.mark.parametrize("pgrid", [(2, 2), (1, 4), (2, 3)])
+    def test_departure_points_match_serial(self, grid, velocity, pgrid):
+        deco = PencilDecomposition(grid.shape, *pgrid)
+        stepper = DistributedSemiLagrangian(grid, deco, velocity, dt=0.25)
+        serial = compute_departure_points(
+            grid, velocity, 0.25, PeriodicInterpolator(grid, "catmull_rom")
+        )
+        for rank in range(deco.num_tasks):
+            expected = serial[(slice(None), *deco.local_slices(rank))].reshape(3, -1)
+            np.testing.assert_allclose(stepper.departure_points(rank), expected, atol=1e-10)
+
+    def test_single_step_matches_serial(self, grid, velocity):
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        stepper = DistributedSemiLagrangian(grid, deco, velocity, dt=0.25)
+        field = smooth_scalar_field(grid, seed=7)
+        serial_stepper = SemiLagrangianStepper(
+            grid, velocity, 0.25, interpolator=PeriodicInterpolator(grid, "catmull_rom")
+        )
+        expected = serial_stepper.step(field)
+        blocks = stepper.step(deco.scatter(field))
+        np.testing.assert_allclose(deco.gather(blocks), expected, atol=1e-10)
+
+    def test_zero_velocity_is_identity(self, grid):
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        stepper = DistributedSemiLagrangian(grid, deco, grid.zeros_vector(), dt=0.25)
+        field = smooth_scalar_field(grid, seed=8)
+        blocks = stepper.step(deco.scatter(field))
+        np.testing.assert_allclose(deco.gather(blocks), field, atol=1e-10)
+
+    def test_negative_dt_rejected(self, grid, velocity):
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        with pytest.raises(ValueError):
+            DistributedSemiLagrangian(grid, deco, velocity, dt=-0.1)
+
+    def test_velocity_shape_validated(self, grid):
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        with pytest.raises(ValueError):
+            DistributedSemiLagrangian(grid, deco, np.zeros(grid.shape), dt=0.1)
+
+
+class TestDistributedTransportSolver:
+    @pytest.mark.parametrize("pgrid", [(2, 2), (1, 3)])
+    def test_state_solve_matches_serial(self, pgrid):
+        grid = Grid((16, 16, 16))
+        template = sinusoidal_template(grid)
+        velocity = synthetic_velocity(grid)
+        deco = PencilDecomposition(grid.shape, *pgrid)
+        distributed = DistributedTransportSolver(grid, deco, num_time_steps=4)
+        result = distributed.solve_state(velocity, template)
+
+        serial = TransportSolver(grid, num_time_steps=4, interpolation="catmull_rom")
+        expected = serial.solve_state(serial.plan(velocity), template)[-1]
+        np.testing.assert_allclose(result, expected, atol=1e-9)
+
+    def test_communication_is_charged(self):
+        grid = Grid((12, 12, 12))
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        comm = SimulatedCommunicator(deco.num_tasks)
+        solver = DistributedTransportSolver(grid, deco, num_time_steps=2, comm=comm)
+        solver.solve_state(0.3 * smooth_vector_field(grid, seed=1), smooth_scalar_field(grid, seed=2))
+        summary = comm.ledger.summary()
+        assert summary["interp_scatter"]["bytes"] > 0
+        assert summary["interp_return"]["bytes"] > 0
+        assert summary["ghost_exchange"]["bytes"] > 0
+
+    def test_template_shape_validated(self):
+        grid = Grid((12, 12, 12))
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        solver = DistributedTransportSolver(grid, deco)
+        with pytest.raises(ValueError):
+            solver.solve_state(grid.zeros_vector(), np.zeros((4, 4, 4)))
+
+    def test_invalid_time_steps(self):
+        grid = Grid((12, 12, 12))
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        with pytest.raises(ValueError):
+            DistributedTransportSolver(grid, deco, num_time_steps=0)

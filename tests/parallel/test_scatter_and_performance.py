@@ -1,0 +1,175 @@
+"""Tests for the scatter interpolation plan, machine models and cost model."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import SimulatedCommunicator
+from repro.parallel.machines import MAVERICK, STAMPEDE, MachineSpec, get_machine
+from repro.parallel.pencil import PencilDecomposition
+from repro.parallel.performance import (
+    KernelCostModel,
+    RegistrationCostModel,
+    strong_scaling_efficiency,
+    weak_scaling_efficiency,
+)
+from repro.parallel.scatter import ScatterInterpolationPlan
+from repro.spectral.grid import Grid
+from repro.transport.interpolation import PeriodicInterpolator
+from repro.transport.semi_lagrangian import compute_departure_points
+
+from tests.conftest import smooth_scalar_field, smooth_vector_field
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid((12, 12, 12))
+
+
+def make_plan(grid, pgrid, points_per_rank=150, seed=0):
+    deco = PencilDecomposition(grid.shape, *pgrid)
+    comm = SimulatedCommunicator(deco.num_tasks)
+    rng = np.random.default_rng(seed)
+    points = [rng.uniform(-5, 12, size=(3, points_per_rank)) for _ in range(deco.num_tasks)]
+    plan = ScatterInterpolationPlan(grid, deco, comm, points)
+    return deco, comm, points, plan
+
+
+class TestScatterInterpolation:
+    @pytest.mark.parametrize("pgrid", [(2, 2), (1, 3), (3, 2), (1, 1)])
+    def test_matches_serial_catmull_rom(self, grid, pgrid, rng):
+        deco, comm, points, plan = make_plan(grid, pgrid)
+        field = rng.standard_normal(grid.shape)
+        values = plan.interpolate(deco.scatter(field))
+        serial = PeriodicInterpolator(grid, "catmull_rom")
+        for rank in range(deco.num_tasks):
+            np.testing.assert_allclose(values[rank], serial(field, points[rank]), atol=1e-10)
+
+    def test_semi_lagrangian_departure_points(self, grid):
+        # the actual use case: departure points of the synthetic velocity
+        velocity = 0.5 * smooth_vector_field(grid, seed=2)
+        departure = compute_departure_points(grid, velocity, dt=0.25)
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        comm = SimulatedCommunicator(deco.num_tasks)
+        local_points = [
+            departure[(slice(None), *deco.local_slices(rank))].reshape(3, -1)
+            for rank in range(deco.num_tasks)
+        ]
+        plan = ScatterInterpolationPlan(grid, deco, comm, local_points)
+        field = smooth_scalar_field(grid, seed=3)
+        values = plan.interpolate(deco.scatter(field))
+        serial = PeriodicInterpolator(grid, "catmull_rom")(field, departure)
+        for rank in range(deco.num_tasks):
+            expected = serial[deco.local_slices(rank)].reshape(-1)
+            np.testing.assert_allclose(values[rank], expected, atol=1e-10)
+
+    def test_communication_is_recorded(self, grid, rng):
+        deco, comm, points, plan = make_plan(grid, (2, 3))
+        plan.interpolate(deco.scatter(rng.standard_normal(grid.shape)))
+        assert comm.ledger.bytes("interp_scatter") > 0
+        assert comm.ledger.bytes("interp_return") > 0
+        assert comm.ledger.bytes("ghost_exchange") > 0
+
+    def test_point_counts_cover_all_points(self, grid):
+        deco, comm, points, plan = make_plan(grid, (2, 2), points_per_rank=100)
+        assert sum(plan.local_point_counts()) == 4 * 100
+
+    def test_validates_inputs(self, grid):
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        comm = SimulatedCommunicator(4)
+        with pytest.raises(ValueError):
+            ScatterInterpolationPlan(grid, deco, comm, [np.zeros((3, 5))])
+        with pytest.raises(ValueError):
+            ScatterInterpolationPlan(grid, deco, comm, [np.zeros((2, 5))] * 4)
+        plan = ScatterInterpolationPlan(grid, deco, comm, [np.zeros((3, 5))] * 4)
+        with pytest.raises(ValueError):
+            plan.interpolate([np.zeros((6, 6, 12))] * 3)
+
+
+class TestMachines:
+    def test_lookup(self):
+        assert get_machine("maverick") is MAVERICK
+        assert get_machine("STAMPEDE") is STAMPEDE
+        with pytest.raises(ValueError):
+            get_machine("frontier")
+
+    def test_nodes_for_tasks(self):
+        assert MAVERICK.nodes_for_tasks(16) == 1
+        assert MAVERICK.nodes_for_tasks(17) == 2
+        assert STAMPEDE.nodes_for_tasks(2048) == 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 1, 1, -1.0, 1.0, 1.0, 1.0)
+
+
+class TestKernelCostModel:
+    def test_costs_are_positive_and_scale_with_grid(self):
+        small = KernelCostModel((64, 64, 64), 16, MAVERICK)
+        large = KernelCostModel((128, 128, 128), 16, MAVERICK)
+        assert 0 < small.fft_execution_time() < large.fft_execution_time()
+        assert 0 < small.interpolation_execution_time() < large.interpolation_execution_time()
+
+    def test_single_task_has_no_communication(self):
+        model = KernelCostModel((64, 64, 64), 1, MAVERICK)
+        assert model.fft_communication_time() == 0.0
+        assert model.interpolation_communication_time() == 0.0
+
+    def test_matvec_cost_structure(self):
+        model = KernelCostModel((64, 64, 64), 16, MAVERICK)
+        cost = model.matvec_cost(4)
+        assert set(cost) == {
+            "fft_execution",
+            "fft_communication",
+            "interp_execution",
+            "interp_communication",
+        }
+        assert cost["fft_execution"] == pytest.approx(32 * model.fft_execution_time())
+
+    def test_memory_model(self):
+        model = KernelCostModel((128, 128, 128), 16, MAVERICK)
+        # (2*4+5) * N^3/p * 8 bytes
+        assert model.memory_per_task_bytes(4) == pytest.approx(13 * 128**3 / 16 * 8)
+
+
+class TestRegistrationCostModel:
+    def test_breakdown_adds_up(self):
+        model = RegistrationCostModel((128, 128, 128), 16, MAVERICK)
+        b = model.breakdown()
+        assert b.time_to_solution == pytest.approx(b.kernel_sum + b.other)
+        assert b.num_nodes == 1
+
+    def test_strong_scaling_improves_time(self):
+        times = [
+            RegistrationCostModel((128, 128, 128), p, MAVERICK).breakdown().time_to_solution
+            for p in (16, 32, 64, 256)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_calibration_against_table1_run3(self):
+        """Model within 50% of the paper's run #3 on every reported column."""
+        b = RegistrationCostModel(
+            (128, 128, 128), 16, MAVERICK, num_newton_iterations=2, num_hessian_matvecs=2
+        ).breakdown()
+        paper = {
+            "time_to_solution": 15.2,
+            "fft_communication": 1.73,
+            "fft_execution": 1.35,
+            "interp_communication": 1.84,
+            "interp_execution": 6.66,
+        }
+        model = b.as_dict()
+        for key, value in paper.items():
+            assert abs(model[key] - value) / value < 0.5, key
+
+    def test_efficiency_helpers(self):
+        breakdowns = [
+            RegistrationCostModel((128, 128, 128), p, MAVERICK).breakdown()
+            for p in (16, 32, 64)
+        ]
+        strong = strong_scaling_efficiency(breakdowns)
+        assert strong[0] == pytest.approx(1.0)
+        assert all(0 < e <= 1.05 for e in strong)
+        weak = weak_scaling_efficiency(breakdowns)
+        assert weak[0] == pytest.approx(1.0)
+        assert strong_scaling_efficiency([]) == []
+        assert weak_scaling_efficiency([]) == []

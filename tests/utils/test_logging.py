@@ -1,0 +1,47 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+import pytest
+
+from repro.utils.logging import get_logger, set_verbosity
+
+
+class TestGetLogger:
+    def test_logger_is_namespaced_under_repro(self):
+        logger = get_logger("core.optim")
+        assert logger.name == "repro.core.optim"
+
+    def test_existing_prefix_is_not_duplicated(self):
+        logger = get_logger("repro.spectral")
+        assert logger.name == "repro.spectral"
+
+    def test_root_logger_has_handler(self):
+        get_logger("anything")
+        root = logging.getLogger("repro")
+        assert root.handlers
+
+
+class TestSetVerbosity:
+    def test_accepts_string_levels(self):
+        set_verbosity("debug")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity("quiet")
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_accepts_numeric_level(self):
+        set_verbosity(logging.INFO)
+        assert logging.getLogger("repro").level == logging.INFO
+        set_verbosity("quiet")
+
+    def test_rejects_unknown_string(self):
+        with pytest.raises(ValueError):
+            set_verbosity("shout")
+
+    def test_info_messages_propagate(self, caplog):
+        set_verbosity("info")
+        logger = get_logger("test.module")
+        with caplog.at_level(logging.INFO, logger="repro"):
+            logger.info("hello from the solver")
+        assert any("hello from the solver" in rec.message for rec in caplog.records)
+        set_verbosity("quiet")

@@ -1,0 +1,117 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import (
+    FFT_COMMUNICATION,
+    FFT_EXECUTION,
+    INTERP_COMMUNICATION,
+    INTERP_EXECUTION,
+    TIME_TO_SOLUTION,
+    Timer,
+    TimingRegistry,
+)
+
+
+class TestTimer:
+    def test_accumulates_elapsed_time(self):
+        timer = Timer("work")
+        timer.start()
+        time.sleep(0.01)
+        elapsed = timer.stop()
+        assert elapsed > 0.0
+        assert timer.total == pytest.approx(elapsed)
+        assert timer.calls == 1
+
+    def test_multiple_cycles_accumulate(self):
+        timer = Timer("work")
+        for _ in range(3):
+            timer.start()
+            timer.stop()
+        assert timer.calls == 3
+        assert timer.total >= 0.0
+
+    def test_double_start_raises(self):
+        timer = Timer("work")
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer("work").stop()
+
+    def test_mean_is_zero_without_calls(self):
+        assert Timer("idle").mean == 0.0
+
+    def test_running_flag(self):
+        timer = Timer("x")
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+
+class TestTimingRegistry:
+    def test_section_context_manager(self):
+        registry = TimingRegistry()
+        with registry.section("fft"):
+            time.sleep(0.005)
+        assert registry.total("fft") > 0.0
+        assert registry.timer("fft").calls == 1
+
+    def test_unknown_section_total_is_zero(self):
+        assert TimingRegistry().total("missing") == 0.0
+
+    def test_as_dict_snapshot(self):
+        registry = TimingRegistry()
+        with registry.section("a"):
+            pass
+        with registry.section("b"):
+            pass
+        snapshot = registry.as_dict()
+        assert set(snapshot) == {"a", "b"}
+
+    def test_reset_clears_everything(self):
+        registry = TimingRegistry()
+        with registry.section("a"):
+            pass
+        registry.reset()
+        assert registry.as_dict() == {}
+
+    def test_merge_accumulates(self):
+        a = TimingRegistry()
+        b = TimingRegistry()
+        with a.section("fft"):
+            time.sleep(0.002)
+        with b.section("fft"):
+            time.sleep(0.002)
+        with b.section("interp"):
+            pass
+        a.merge(b)
+        assert a.timer("fft").calls == 2
+        assert "interp" in a.timers
+
+    def test_paper_breakdown_has_all_columns(self):
+        registry = TimingRegistry()
+        for name in (
+            TIME_TO_SOLUTION,
+            FFT_COMMUNICATION,
+            FFT_EXECUTION,
+            INTERP_COMMUNICATION,
+            INTERP_EXECUTION,
+        ):
+            with registry.section(name):
+                pass
+        breakdown = registry.paper_breakdown()
+        assert set(breakdown) == {
+            "time_to_solution",
+            "fft_communication",
+            "fft_execution",
+            "interp_communication",
+            "interp_execution",
+        }
+        assert all(value >= 0.0 for value in breakdown.values())

@@ -1,0 +1,113 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_shape,
+    check_shape_3d,
+    check_velocity_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_float(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_accepts_integer_value(self):
+        assert check_positive(3, "x") == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "beta")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive_int(self):
+        assert check_positive_int(4, "n") == 4
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "n") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, 5.0])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckShape3d:
+    def test_accepts_tuple(self):
+        assert check_shape_3d((4, 6, 8)) == (4, 6, 8)
+
+    def test_accepts_list(self):
+        assert check_shape_3d([16, 16, 16]) == (16, 16, 16)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            check_shape_3d((4, 4))
+
+    def test_rejects_too_small_entries(self):
+        with pytest.raises(ValueError):
+            check_shape_3d((4, 1, 4))
+
+
+class TestCheckSameShape:
+    def test_accepts_matching(self):
+        a = np.zeros((3, 4))
+        check_same_shape(a, np.ones((3, 4)))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            check_same_shape(np.zeros((3, 4)), np.zeros((4, 3)))
+
+
+class TestCheckVelocityShape:
+    def test_accepts_correct_shape(self):
+        v = np.zeros((3, 4, 5, 6))
+        out = check_velocity_shape(v, (4, 5, 6))
+        assert out.shape == (3, 4, 5, 6)
+
+    def test_rejects_scalar_field(self):
+        with pytest.raises(ValueError):
+            check_velocity_shape(np.zeros((4, 5, 6)), (4, 5, 6))
+
+    def test_rejects_wrong_grid(self):
+        with pytest.raises(ValueError):
+            check_velocity_shape(np.zeros((3, 4, 5, 6)), (4, 5, 7))
