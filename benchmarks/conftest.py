@@ -15,15 +15,11 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
-import sys
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
-
-# make the tests' conftest helpers importable if needed
-sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
 
 @pytest.fixture(scope="session")

@@ -43,6 +43,12 @@ from repro.data.io import load_problem
 from repro.data.synthetic import synthetic_registration_problem
 from repro.parallel.machines import get_machine
 from repro.parallel.performance import RegistrationCostModel
+from repro.spectral.backends import (
+    BackendUnavailableError,
+    available_backends,
+    get_backend,
+    registered_backends,
+)
 from repro.utils.logging import set_verbosity
 
 
@@ -79,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="gauss_newton",
         help="outer optimizer",
     )
+    reg.add_argument(
+        "--fft-backend",
+        choices=registered_backends(),
+        default=None,
+        help=(
+            "FFT engine for the spectral kernels (default: $REPRO_FFT_BACKEND "
+            f"or 'numpy'; available here: {', '.join(available_backends())})"
+        ),
+    )
 
     scal = subparsers.add_parser("scaling", help="print paper-vs-model scaling tables")
     scal.add_argument("--table", choices=("I", "II", "III", "IV"), default=None)
@@ -108,6 +123,12 @@ def _load_pair(args: argparse.Namespace):
 
 
 def _run_register(args: argparse.Namespace) -> int:
+    try:
+        # resolve early (flag or $REPRO_FFT_BACKEND) for a clean error message
+        get_backend(args.fft_backend)
+    except (BackendUnavailableError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     reference, template, grid = _load_pair(args)
     options = SolverOptions(
         gradient_tolerance=args.gtol,
@@ -122,6 +143,7 @@ def _run_register(args: argparse.Namespace) -> int:
         num_time_steps=args.nt,
         optimizer=args.optimizer,
         options=options,
+        fft_backend=args.fft_backend,
     )
     result = solver.run(template, reference, grid=grid)
     print(format_rows([result.summary()], title="Registration summary"))

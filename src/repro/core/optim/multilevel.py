@@ -75,6 +75,9 @@ class MultilevelRegistration:
     options:
         Solver options; the coarse levels reuse them with the same iteration
         caps (coarse iterations are cheap).
+    fft_backend:
+        FFT engine name or instance used by every level's spectral operators
+        (``None`` selects the environment default).
     """
 
     grid: Grid
@@ -87,6 +90,7 @@ class MultilevelRegistration:
     num_time_steps: int = 4
     gauss_newton: bool = True
     options: SolverOptions = field(default_factory=SolverOptions)
+    fft_backend: Optional[object] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_levels, "num_levels")
@@ -124,6 +128,7 @@ class MultilevelRegistration:
             incompressible=self.incompressible,
             num_time_steps=self.num_time_steps,
             gauss_newton=self.gauss_newton,
+            fft_backend=self.fft_backend,
         )
 
     @staticmethod

@@ -68,11 +68,11 @@ class SpectralPreconditioner:
         a = self.regularizer.symbol
         if self.variant == "shifted":
             return 1.0 / (beta * a + 1.0)
-        # inverse_regularization: pseudo-inverse with identity on the null space
-        symbol = np.empty_like(a)
-        nonzero = a != 0.0
-        symbol[nonzero] = 1.0 / (beta * a[nonzero])
-        symbol[~nonzero] = 1.0
+        # inverse_regularization: pseudo-inverse with identity on the null
+        # space; the unweighted pseudo-inverse comes pre-computed from the
+        # per-grid symbol store via the regularizer.
+        symbol = self.regularizer.inverse_symbol / beta
+        symbol[a == 0.0] = 1.0
         return symbol
 
     def __call__(self, residual: np.ndarray) -> np.ndarray:

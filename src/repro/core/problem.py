@@ -117,6 +117,10 @@ class RegistrationProblem:
         default for all reported experiments).
     interpolation:
         Off-grid interpolation kernel.
+    fft_backend:
+        FFT engine name or instance (``"numpy"``, ``"scipy"``, ``"pyfftw"``,
+        or ``None`` for the ``REPRO_FFT_BACKEND`` / numpy default) used when
+        the spectral operators are constructed on demand.
     """
 
     grid: Grid
@@ -128,6 +132,7 @@ class RegistrationProblem:
     num_time_steps: int = 4
     gauss_newton: bool = True
     interpolation: str = "cubic_bspline"
+    fft_backend: Optional[object] = None
     operators: Optional[SpectralOperators] = None
     transport: Optional[TransportSolver] = None
     hessian_matvec_count: int = field(default=0, init=False)
@@ -145,7 +150,7 @@ class RegistrationProblem:
                 f"template image has shape {self.template.shape}, expected {self.grid.shape}"
             )
         if self.operators is None:
-            self.operators = SpectralOperators(self.grid)
+            self.operators = SpectralOperators(self.grid, fft_backend=self.fft_backend)
         if self.transport is None:
             self.transport = TransportSolver(
                 self.grid,
@@ -319,4 +324,5 @@ class RegistrationProblem:
             "num_time_steps": self.num_time_steps,
             "gauss_newton": self.gauss_newton,
             "interpolation": self.interpolation,
+            "fft_backend": self.operators.fft.backend_name,
         }

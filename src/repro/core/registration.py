@@ -79,6 +79,9 @@ class RegistrationResult:
             "det_grad_max": self.det_grad_stats["max"],
             "diffeomorphic": self.is_diffeomorphic,
             "time_to_solution": self.elapsed_seconds,
+            "fft_backend": (
+                self.problem.operators.fft.backend_name if self.problem is not None else "?"
+            ),
         }
 
 
@@ -111,6 +114,10 @@ class RegistrationSolver:
         Solver options (tolerances, iteration caps, preconditioner variant).
     interpolation:
         Off-grid interpolation kernel for the semi-Lagrangian scheme.
+    fft_backend:
+        FFT engine for every spectral operation of the pipeline
+        (``"numpy"``, ``"scipy"``, ``"pyfftw"``, a backend instance, or
+        ``None`` for the ``REPRO_FFT_BACKEND`` / numpy default).
     """
 
     beta: float = 1e-2
@@ -123,6 +130,7 @@ class RegistrationSolver:
     normalize: bool = True
     options: SolverOptions = field(default_factory=SolverOptions)
     interpolation: str = "cubic_bspline"
+    fft_backend: Optional[object] = None
 
     def build_problem(
         self,
@@ -148,8 +156,12 @@ class RegistrationSolver:
             template = normalize_intensity(template)
             reference = normalize_intensity(reference)
         if self.smooth_sigma > 0:
-            template = smooth_image(template, grid, sigma_cells=self.smooth_sigma)
-            reference = smooth_image(reference, grid, sigma_cells=self.smooth_sigma)
+            template = smooth_image(
+                template, grid, sigma_cells=self.smooth_sigma, backend=self.fft_backend
+            )
+            reference = smooth_image(
+                reference, grid, sigma_cells=self.smooth_sigma, backend=self.fft_backend
+            )
 
         return RegistrationProblem(
             grid=grid,
@@ -161,6 +173,7 @@ class RegistrationSolver:
             num_time_steps=self.num_time_steps,
             gauss_newton=self.gauss_newton,
             interpolation=self.interpolation,
+            fft_backend=self.fft_backend,
         )
 
     def run(
@@ -235,6 +248,7 @@ def register(
     smooth_sigma: float = 1.0,
     normalize: bool = True,
     interpolation: str = "cubic_bspline",
+    fft_backend: Optional[object] = None,
 ) -> RegistrationResult:
     """Register *template* onto *reference* (functional convenience wrapper).
 
@@ -259,5 +273,6 @@ def register(
         smooth_sigma=smooth_sigma,
         normalize=normalize,
         interpolation=interpolation,
+        fft_backend=fft_backend,
     )
     return solver.run(template, reference, grid=grid)

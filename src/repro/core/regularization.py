@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
+from repro.spectral.symbols import get_symbols
 from repro.utils.validation import check_positive, check_velocity_shape
 
 
@@ -65,18 +66,18 @@ class _SobolevSeminormRegularization:
 
     @cached_property
     def symbol(self) -> np.ndarray:
-        """Spectral symbol of the (unweighted) operator ``A = (-lap)^order``."""
-        ksq = -self.grid.laplacian_symbol(real_last_axis=True)
-        return ksq**self.order
+        """Spectral symbol of the (unweighted) operator ``A = (-lap)^order``.
+
+        Shared across instances through the per-grid symbol store, so the
+        ``beta``-continuation (which rebuilds the regularization per level)
+        never recomputes the array.
+        """
+        return get_symbols(self.grid).sobolev(self.order)
 
     @cached_property
     def inverse_symbol(self) -> np.ndarray:
         """Pseudo-inverse symbol ``A^+`` (zero on the constant mode)."""
-        sym = self.symbol
-        out = np.zeros_like(sym)
-        nonzero = sym != 0.0
-        out[nonzero] = 1.0 / sym[nonzero]
-        return out
+        return get_symbols(self.grid).inverse_sobolev(self.order)
 
     # ------------------------------------------------------------------ #
     def with_beta(self, beta: float) -> "_SobolevSeminormRegularization":

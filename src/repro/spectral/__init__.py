@@ -5,31 +5,60 @@ Fourier expansions (Sec. III-B1): derivatives, the Laplacian and biharmonic
 regularization operators, their inverses (used by the preconditioner and by
 the Leray projection), spectral Gaussian smoothing of the input images, and
 zero padding of non-periodic data.  This package provides all of those
-building blocks for the single-node (serial) backend; the distributed
+building blocks for the single-node (serial) path; the distributed
 counterparts built on the pencil-decomposed FFT live in
 :mod:`repro.parallel`.
+
+The actual FFT engine is pluggable: :mod:`repro.spectral.backends` keeps a
+registry of interchangeable backends (``numpy``, ``scipy``, ``pyfftw``)
+selectable per call site, through the ``REPRO_FFT_BACKEND`` environment
+variable, or the ``--fft-backend`` CLI flag.  Spectral symbols are shared
+per grid through the :mod:`repro.spectral.symbols` store.
 """
 
-from repro.spectral.grid import Grid
-from repro.spectral.fft import FourierTransform
-from repro.spectral.operators import SpectralOperators
+from repro.spectral.backends import (
+    BACKEND_ENV_VAR,
+    BackendUnavailableError,
+    FFTBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
+from repro.spectral.fft import FFTCounters, FourierTransform
 from repro.spectral.filters import (
     gaussian_smooth,
     low_pass_filter,
     prolong,
+    remove_padding,
     restrict,
     zero_pad,
-    remove_padding,
 )
+from repro.spectral.grid import Grid
+from repro.spectral.operators import SpectralOperators
+from repro.spectral.symbols import SymbolTable, clear_symbol_cache, get_symbols
 
 __all__ = [
-    "Grid",
+    "BACKEND_ENV_VAR",
+    "BackendUnavailableError",
+    "FFTBackend",
+    "FFTCounters",
     "FourierTransform",
+    "Grid",
     "SpectralOperators",
+    "SymbolTable",
+    "available_backends",
+    "clear_symbol_cache",
+    "default_backend_name",
     "gaussian_smooth",
+    "get_backend",
+    "get_symbols",
     "low_pass_filter",
     "prolong",
+    "register_backend",
+    "registered_backends",
+    "remove_padding",
     "restrict",
     "zero_pad",
-    "remove_padding",
 ]

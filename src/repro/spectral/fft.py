@@ -1,17 +1,24 @@
-"""Serial Fourier-transform backend.
+"""Serial Fourier-transform frontend over pluggable backends.
 
 The paper's implementation uses AccFFT (built on FFTW) for its distributed
-transforms; the serial, single-process backend used by the core solver here
-wraps :func:`numpy.fft.rfftn` / :func:`numpy.fft.irfftn` (all fields of the
-problem are real).  The distributed pencil-decomposed transform that mirrors
+transforms; the serial, single-process transform used by the core solver here
+delegates to one of the engines in :mod:`repro.spectral.backends` —
+``numpy`` (the reference), ``scipy`` (pooled multi-threaded pocketfft) or
+``pyfftw`` (FFTW with plan re-use) — selected per instance, via the
+``REPRO_FFT_BACKEND`` environment variable, or the ``--fft-backend`` CLI
+flag.  All fields of the problem are real, so the transforms are
+real-to-complex.  The distributed pencil-decomposed transform that mirrors
 AccFFT's communication pattern lives in
-:mod:`repro.parallel.distributed_fft` and is validated against this backend.
+:mod:`repro.parallel.distributed_fft` and is validated against whichever
+serial backend is active.
 
-The backend also counts the number of transforms performed.  The paper's
-complexity model (Sec. III-C4) expresses the per-iteration cost as a number
-of 3D FFTs and interpolations; counting the transforms lets the benchmark
-harness verify those counts against the analytic formula ``8*nt`` FFTs per
-Hessian matvec.
+The frontend also counts the number of (scalar 3D) transforms performed.
+The paper's complexity model (Sec. III-C4) expresses the per-iteration cost
+as a number of 3D FFTs and interpolations; counting the transforms lets the
+benchmark harness verify those counts against the analytic formula ``8*nt``
+FFTs per Hessian matvec.  Counting happens here — never in the backends —
+so the counters are exactly identical no matter which engine runs the
+transforms; a batched vector transform counts as three scalar transforms.
 """
 
 from __future__ import annotations
@@ -20,7 +27,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.spectral.backends import FFTBackend, get_backend
 from repro.spectral.grid import Grid
+
+#: The three trailing axes an n-d (batched) transform acts on.
+SPATIAL_AXES = (-3, -2, -1)
 
 
 @dataclass
@@ -47,16 +58,30 @@ class FourierTransform:
     ----------
     grid:
         The periodic grid defining the transform size.
+    backend:
+        FFT engine: a registered backend name (``"numpy"``, ``"scipy"``,
+        ``"pyfftw"``), a backend instance, or ``None`` for the environment
+        default (see :func:`repro.spectral.backends.get_backend`).
 
     Notes
     -----
     The transform is unnormalized in the forward direction and normalized in
-    the backward direction (numpy's default), which is the convention assumed
-    by every spectral symbol in :mod:`repro.spectral.operators`.
+    the backward direction (numpy's convention), which is what every spectral
+    symbol in :mod:`repro.spectral.operators` assumes; all three backends
+    implement the same convention.
     """
 
     grid: Grid
+    backend: "str | FFTBackend | None" = None
     counters: FFTCounters = field(default_factory=FFTCounters)
+
+    def __post_init__(self) -> None:
+        self.backend = get_backend(self.backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active FFT engine."""
+        return self.backend.name
 
     @property
     def spectral_shape(self) -> tuple[int, int, int]:
@@ -64,6 +89,9 @@ class FourierTransform:
         n1, n2, n3 = self.grid.shape
         return (n1, n2, n3 // 2 + 1)
 
+    # ------------------------------------------------------------------ #
+    # scalar transforms
+    # ------------------------------------------------------------------ #
     def forward(self, field_values: np.ndarray) -> np.ndarray:
         """Forward real-to-complex transform of a scalar field."""
         field_values = np.asarray(field_values)
@@ -72,7 +100,7 @@ class FourierTransform:
                 f"field has shape {field_values.shape}, expected {self.grid.shape}"
             )
         self.counters.forward += 1
-        return np.fft.rfftn(field_values)
+        return self.backend.rfftn(field_values, axes=SPATIAL_AXES)
 
     def backward(self, spectrum: np.ndarray) -> np.ndarray:
         """Inverse transform returning a real field on the grid."""
@@ -82,27 +110,70 @@ class FourierTransform:
                 f"spectrum has shape {spectrum.shape}, expected {self.spectral_shape}"
             )
         self.counters.backward += 1
-        out = np.fft.irfftn(spectrum, s=self.grid.shape)
+        out = self.backend.irfftn(spectrum, s=self.grid.shape, axes=SPATIAL_AXES)
+        return out.astype(self.grid.dtype, copy=False)
+
+    # ------------------------------------------------------------------ #
+    # batched transforms
+    # ------------------------------------------------------------------ #
+    def forward_batch(self, fields: np.ndarray) -> np.ndarray:
+        """Forward transform of a ``(..., N1, N2, N3)`` stack in one call.
+
+        All leading axes are batch dimensions handed to the backend as one
+        stacked transform; the counter increases by the batch size (each
+        batch entry is one scalar 3D FFT of the paper's complexity model).
+        """
+        fields = np.asarray(fields)
+        if fields.ndim < 3 or fields.shape[-3:] != self.grid.shape:
+            raise ValueError(
+                f"batched field has shape {fields.shape}, expected "
+                f"(..., {', '.join(map(str, self.grid.shape))})"
+            )
+        batch = int(np.prod(fields.shape[:-3], dtype=int))
+        self.counters.forward += batch
+        return self.backend.rfftn(fields, axes=SPATIAL_AXES)
+
+    def backward_batch(self, spectra: np.ndarray) -> np.ndarray:
+        """Inverse transform of a ``(..., N1, N2, N3//2+1)`` spectral stack."""
+        spectra = np.asarray(spectra)
+        if spectra.ndim < 3 or spectra.shape[-3:] != self.spectral_shape:
+            raise ValueError(
+                f"batched spectrum has shape {spectra.shape}, expected "
+                f"(..., {', '.join(map(str, self.spectral_shape))})"
+            )
+        batch = int(np.prod(spectra.shape[:-3], dtype=int))
+        self.counters.backward += batch
+        out = self.backend.irfftn(spectra, s=self.grid.shape, axes=SPATIAL_AXES)
         return out.astype(self.grid.dtype, copy=False)
 
     def forward_vector(self, vector_field: np.ndarray) -> np.ndarray:
-        """Component-wise forward transform of a ``(3, N1, N2, N3)`` field."""
+        """Batched forward transform of a ``(3, N1, N2, N3)`` vector field.
+
+        All three components are transformed in one stacked backend call
+        (counted as three scalar transforms).
+        """
         vector_field = np.asarray(vector_field)
         if vector_field.shape != (3, *self.grid.shape):
             raise ValueError(
                 f"vector field has shape {vector_field.shape}, expected {(3, *self.grid.shape)}"
             )
-        return np.stack([self.forward(vector_field[i]) for i in range(3)], axis=0)
+        return self.forward_batch(vector_field)
 
-    def backward_vector(self, spectra: np.ndarray) -> np.ndarray:
-        """Component-wise inverse transform of a stacked spectral field."""
+    def inverse_vector(self, spectra: np.ndarray) -> np.ndarray:
+        """Batched inverse transform of a ``(3, ...)`` stacked spectral field."""
         spectra = np.asarray(spectra)
         if spectra.shape != (3, *self.spectral_shape):
             raise ValueError(
                 f"spectra have shape {spectra.shape}, expected {(3, *self.spectral_shape)}"
             )
-        return np.stack([self.backward(spectra[i]) for i in range(3)], axis=0)
+        return self.backward_batch(spectra)
 
+    #: Backwards-compatible alias of :meth:`inverse_vector`.
+    backward_vector = inverse_vector
+
+    # ------------------------------------------------------------------ #
+    # multiplier application
+    # ------------------------------------------------------------------ #
     def apply_symbol(self, field_values: np.ndarray, symbol: np.ndarray) -> np.ndarray:
         """Apply a Fourier multiplier: ``ifft(symbol * fft(field))``.
 
@@ -110,8 +181,14 @@ class FourierTransform:
         its inverse, the preconditioner and the spectral filters.
         """
         spectrum = self.forward(field_values)
-        spectrum *= symbol
+        spectrum = spectrum * symbol
         return self.backward(spectrum)
+
+    def apply_symbol_vector(self, vector_field: np.ndarray, symbol: np.ndarray) -> np.ndarray:
+        """Apply one Fourier multiplier to all three components, batched."""
+        spectra = self.forward_vector(vector_field)
+        spectra = spectra * symbol[None]
+        return self.inverse_vector(spectra)
 
     def reset_counters(self) -> None:
         self.counters.reset()

@@ -12,17 +12,55 @@ The paper's pre-processing pipeline (Sec. III-B1):
   truncation/zero-filling).
 
 All filters are Fourier multipliers and therefore preserve periodicity and
-commute with the differential operators.
+commute with the differential operators.  Filter symbols come from the
+shared :mod:`repro.spectral.symbols` store and the transforms from a small
+per-grid transform cache, so repeated filtering of same-sized images (the
+multilevel pre-processing path) re-uses both the symbol arrays and the
+backend plan state instead of rebuilding them per call.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from functools import lru_cache
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.spectral.backends import FFTBackend, get_backend
 from repro.spectral.fft import FourierTransform
 from repro.spectral.grid import Grid
+from repro.spectral.symbols import get_symbols
+
+
+@lru_cache(maxsize=64)
+def _cached_transform(grid: Grid, backend: FFTBackend) -> FourierTransform:
+    """Shared per-(grid, backend instance) transform used by the filters.
+
+    The filters are outside the solver's counted hot loop (their transform
+    counts are not part of the ``8*nt`` complexity model), so sharing one
+    frontend per grid is safe and keeps backend plan caches warm.  Keying on
+    the backend *instance* (not its name) means a re-registered backend —
+    which gets a fresh singleton from :func:`get_backend` — automatically
+    gets a fresh cache entry rather than a stale engine.
+    """
+    return FourierTransform(grid, backend=backend)
+
+
+def _transform_for(grid: Grid, backend: Union[str, FFTBackend, None]) -> FourierTransform:
+    return _cached_transform(grid, get_backend(backend))
+
+
+def _normalize_sigma(
+    grid: Grid, sigma: Sequence[float] | float | None
+) -> Tuple[float, float, float]:
+    if sigma is None:
+        sigma = grid.spacing
+    if np.isscalar(sigma):
+        sigma = (float(sigma),) * 3
+    sigma = tuple(float(s) for s in sigma)
+    if len(sigma) != 3 or any(s < 0 for s in sigma):
+        raise ValueError(f"sigma must be 3 non-negative floats, got {sigma}")
+    return sigma
 
 
 def gaussian_symbol(grid: Grid, sigma: Sequence[float] | float | None = None) -> np.ndarray:
@@ -37,31 +75,26 @@ def gaussian_symbol(grid: Grid, sigma: Sequence[float] | float | None = None) ->
         default is the grid spacing (the paper smooths with a bandwidth of
         one grid cell, ``2*pi/N``).
     """
-    if sigma is None:
-        sigma = grid.spacing
-    if np.isscalar(sigma):
-        sigma = (float(sigma),) * 3
-    sigma = tuple(float(s) for s in sigma)
-    if len(sigma) != 3 or any(s < 0 for s in sigma):
-        raise ValueError(f"sigma must be 3 non-negative floats, got {sigma}")
-    k1, k2, k3 = grid.wavenumber_mesh(real_last_axis=True)
-    exponent = (
-        (k1 * sigma[0]) ** 2 + (k2 * sigma[1]) ** 2 + (k3 * sigma[2]) ** 2
-    )
-    return np.exp(-0.5 * exponent)
+    return get_symbols(grid).gaussian(_normalize_sigma(grid, sigma))
 
 
 def gaussian_smooth(
     field: np.ndarray,
     grid: Grid,
     sigma: Sequence[float] | float | None = None,
+    backend: Union[str, FFTBackend, None] = None,
 ) -> np.ndarray:
     """Smooth a scalar field with the periodic spectral Gaussian filter."""
-    fft = FourierTransform(grid)
+    fft = _transform_for(grid, backend)
     return fft.apply_symbol(np.asarray(field, dtype=grid.dtype), gaussian_symbol(grid, sigma))
 
 
-def low_pass_filter(field: np.ndarray, grid: Grid, cutoff_fraction: float = 2.0 / 3.0) -> np.ndarray:
+def low_pass_filter(
+    field: np.ndarray,
+    grid: Grid,
+    cutoff_fraction: float = 2.0 / 3.0,
+    backend: Union[str, FFTBackend, None] = None,
+) -> np.ndarray:
     """Sharp spectral low-pass (classic 2/3 de-aliasing rule by default).
 
     Modes with ``|k_j| > cutoff_fraction * k_nyquist_j`` in any direction are
@@ -69,17 +102,8 @@ def low_pass_filter(field: np.ndarray, grid: Grid, cutoff_fraction: float = 2.0 
     """
     if not 0.0 < cutoff_fraction <= 1.0:
         raise ValueError(f"cutoff_fraction must lie in (0, 1], got {cutoff_fraction}")
-    fft = FourierTransform(grid)
-    k1, k2, k3 = grid.wavenumber_mesh(real_last_axis=True)
-    cutoffs = [
-        cutoff_fraction * (n / 2) * (2.0 * np.pi / L)
-        for n, L in zip(grid.shape, grid.lengths)
-    ]
-    mask = (
-        (np.abs(k1) <= cutoffs[0])
-        & (np.abs(k2) <= cutoffs[1])
-        & (np.abs(k3) <= cutoffs[2])
-    ).astype(grid.dtype)
+    fft = _transform_for(grid, backend)
+    mask = get_symbols(grid).low_pass_mask(cutoff_fraction)
     return fft.apply_symbol(np.asarray(field, dtype=grid.dtype), mask)
 
 

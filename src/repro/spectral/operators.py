@@ -15,75 +15,85 @@ All operators are Fourier multipliers, hence commute, are exact for band
 limited fields, and are applied in ``O(N^3 log N)`` time.  The inverse of the
 Laplacian/biharmonic is the Moore-Penrose pseudo-inverse: the constant
 (zero-frequency) mode, which lies in the null space, is mapped to zero.
+
+Two performance properties of this layer:
+
+* every spectral symbol comes from the process-wide
+  :mod:`repro.spectral.symbols` store, so grids of equal value share one set
+  of symbol arrays across operators, regularizations and filters;
+* every vector-field operator transforms all components in one **batched**
+  backend call (:meth:`FourierTransform.forward_vector` /
+  :meth:`FourierTransform.inverse_vector`), which mirrors the paper's
+  optimization of the ``grad``/``div`` operators (Sec. III-C1: avoid
+  multiple 3D FFT invocations).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.spectral.backends import FFTBackend
 from repro.spectral.fft import FourierTransform
 from repro.spectral.grid import Grid
+from repro.spectral.symbols import SymbolTable, get_symbols
 from repro.utils.validation import check_velocity_shape
 
 
 @dataclass
 class SpectralOperators:
-    """Collection of Fourier-multiplier operators bound to one grid."""
+    """Collection of Fourier-multiplier operators bound to one grid.
+
+    Parameters
+    ----------
+    grid:
+        The periodic computational grid.
+    fft_backend:
+        FFT engine name or instance forwarded to
+        :class:`~repro.spectral.fft.FourierTransform`; ``None`` selects the
+        environment default.
+    """
 
     grid: Grid
+    fft_backend: Optional[Union[str, FFTBackend]] = None
 
     def __post_init__(self) -> None:
-        self.fft = FourierTransform(self.grid)
+        self.fft = FourierTransform(self.grid, backend=self.fft_backend)
+        self.symbols: SymbolTable = get_symbols(self.grid)
 
     # ------------------------------------------------------------------ #
-    # cached spectral symbols
+    # cached spectral symbols (shared through the symbol store)
     # ------------------------------------------------------------------ #
-    @cached_property
+    @property
     def _ik(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Broadcastable ``i*k_j`` multipliers for the three derivatives.
+        """Broadcastable ``i*k_j`` multipliers for the three derivatives."""
+        return self.symbols.ik
 
-        The Nyquist modes are zeroed (see
-        :meth:`repro.spectral.grid.Grid.derivative_wavenumbers_1d`) so that
-        the discrete first derivatives are skew-adjoint and ``div P v``
-        vanishes identically after the Leray projection.
-        """
-        k1, k2, k3 = self.grid.wavenumber_mesh(real_last_axis=True, derivative=True)
-        return (1j * k1, 1j * k2, 1j * k3)
-
-    @cached_property
+    @property
     def _minus_ksq(self) -> np.ndarray:
         """Laplacian symbol ``-|k|^2`` (negative semi-definite)."""
-        return self.grid.laplacian_symbol(real_last_axis=True)
+        return self.symbols.minus_ksq
 
-    @cached_property
+    @property
     def _inv_minus_ksq(self) -> np.ndarray:
         """Pseudo-inverse of the Laplacian symbol (zero on the constant mode)."""
-        sym = self._minus_ksq
-        out = np.zeros_like(sym)
-        nonzero = sym != 0.0
-        out[nonzero] = 1.0 / sym[nonzero]
-        return out
+        return self.symbols.inv_minus_ksq
 
-    @cached_property
+    @property
     def _ksq(self) -> np.ndarray:
-        return -self._minus_ksq
+        return self.symbols.ksq
 
-    @cached_property
+    @property
     def _k4(self) -> np.ndarray:
         """Biharmonic symbol ``|k|^4``."""
-        return self._ksq * self._ksq
+        return self.symbols.k4
 
-    @cached_property
+    @property
     def _inv_k4(self) -> np.ndarray:
         """Pseudo-inverse of the biharmonic symbol."""
-        sym = self._k4
-        out = np.zeros_like(sym)
-        nonzero = sym != 0.0
-        out[nonzero] = 1.0 / sym[nonzero]
-        return out
+        return self.symbols.inv_k4
 
     # ------------------------------------------------------------------ #
     # scalar operators
@@ -93,21 +103,19 @@ class SpectralOperators:
         if axis not in (0, 1, 2):
             raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
         spectrum = self.fft.forward(field)
-        spectrum *= self._ik[axis]
+        spectrum = spectrum * self._ik[axis]
         return self.fft.backward(spectrum)
 
     def gradient(self, field: np.ndarray) -> np.ndarray:
         """Gradient of a scalar field, returned as ``(3, N1, N2, N3)``.
 
-        A single forward transform is shared by the three derivatives, which
-        mirrors the paper's optimization of the ``grad``/``div`` operators
-        (Sec. III-C1: avoid multiple 3D FFTs).
+        A single forward transform is shared by the three derivatives and
+        the three inverse transforms run as one batched call.
         """
         spectrum = self.fft.forward(field)
-        return np.stack(
-            [self.fft.backward(self._ik[axis] * spectrum) for axis in range(3)],
-            axis=0,
-        )
+        ik1, ik2, ik3 = self._ik
+        stacked = np.stack([ik1 * spectrum, ik2 * spectrum, ik3 * spectrum], axis=0)
+        return self.fft.inverse_vector(stacked)
 
     def laplacian(self, field: np.ndarray) -> np.ndarray:
         """Scalar Laplacian ``lap field``."""
@@ -130,56 +138,61 @@ class SpectralOperators:
         return self.fft.apply_symbol(field, symbol)
 
     # ------------------------------------------------------------------ #
-    # vector operators
+    # vector operators (batched transforms)
     # ------------------------------------------------------------------ #
     def divergence(self, vector_field: np.ndarray) -> np.ndarray:
         """Divergence of a ``(3, N1, N2, N3)`` vector field."""
         vector_field = check_velocity_shape(vector_field, self.grid.shape)
-        spectrum = self.fft.forward(vector_field[0]) * self._ik[0]
-        spectrum += self.fft.forward(vector_field[1]) * self._ik[1]
-        spectrum += self.fft.forward(vector_field[2]) * self._ik[2]
+        spectra = self.fft.forward_vector(vector_field)
+        ik1, ik2, ik3 = self._ik
+        spectrum = ik1 * spectra[0] + ik2 * spectra[1] + ik3 * spectra[2]
         return self.fft.backward(spectrum)
 
     def vector_laplacian(self, vector_field: np.ndarray) -> np.ndarray:
-        """Component-wise Laplacian of a vector field."""
-        vector_field = check_velocity_shape(vector_field, self.grid.shape)
-        return np.stack([self.laplacian(vector_field[i]) for i in range(3)], axis=0)
+        """Component-wise Laplacian of a vector field (one batched call)."""
+        return self.apply_vector_symbol(vector_field, self._minus_ksq)
 
     def vector_biharmonic(self, vector_field: np.ndarray) -> np.ndarray:
         """Component-wise biharmonic operator on a vector field."""
-        vector_field = check_velocity_shape(vector_field, self.grid.shape)
-        return np.stack([self.biharmonic(vector_field[i]) for i in range(3)], axis=0)
+        return self.apply_vector_symbol(vector_field, self._k4)
 
     def apply_vector_symbol(self, vector_field: np.ndarray, symbol: np.ndarray) -> np.ndarray:
         """Apply a Fourier multiplier to each component of a vector field."""
         vector_field = check_velocity_shape(vector_field, self.grid.shape)
-        return np.stack(
-            [self.fft.apply_symbol(vector_field[i], symbol) for i in range(3)], axis=0
-        )
+        return self.fft.apply_symbol_vector(vector_field, symbol)
 
     def curl(self, vector_field: np.ndarray) -> np.ndarray:
         """Curl of a vector field (diagnostic for solenoidal fields)."""
         vector_field = check_velocity_shape(vector_field, self.grid.shape)
-        spectra = [self.fft.forward(vector_field[i]) for i in range(3)]
+        spectra = self.fft.forward_vector(vector_field)
         ik1, ik2, ik3 = self._ik
-        c1 = self.fft.backward(ik2 * spectra[2] - ik3 * spectra[1])
-        c2 = self.fft.backward(ik3 * spectra[0] - ik1 * spectra[2])
-        c3 = self.fft.backward(ik1 * spectra[1] - ik2 * spectra[0])
-        return np.stack([c1, c2, c3], axis=0)
+        curl_spectra = np.stack(
+            [
+                ik2 * spectra[2] - ik3 * spectra[1],
+                ik3 * spectra[0] - ik1 * spectra[2],
+                ik1 * spectra[1] - ik2 * spectra[0],
+            ],
+            axis=0,
+        )
+        return self.fft.inverse_vector(curl_spectra)
 
     def jacobian(self, vector_field: np.ndarray) -> np.ndarray:
-        """Full Jacobian ``d v_i / d x_j`` of a vector field, shape ``(3, 3, ...)``."""
+        """Full Jacobian ``d v_i / d x_j`` of a vector field, shape ``(3, 3, ...)``.
+
+        Three forward transforms (batched) feed all nine derivative spectra,
+        which come back through a single batched inverse transform.
+        """
         vector_field = check_velocity_shape(vector_field, self.grid.shape)
-        rows = []
-        for i in range(3):
-            spectrum = self.fft.forward(vector_field[i])
-            rows.append(
-                np.stack(
-                    [self.fft.backward(self._ik[j] * spectrum) for j in range(3)],
-                    axis=0,
-                )
-            )
-        return np.stack(rows, axis=0)
+        spectra = self.fft.forward_vector(vector_field)
+        ik = self._ik
+        rows = np.stack(
+            [
+                np.stack([ik[j] * spectra[i] for j in range(3)], axis=0)
+                for i in range(3)
+            ],
+            axis=0,
+        )
+        return self.fft.backward_batch(rows)
 
     # ------------------------------------------------------------------ #
     # Leray projection
@@ -192,12 +205,9 @@ class SpectralOperators:
         ``P v^ = v^ - k (k . v^) / |k|^2``.
         """
         vector_field = check_velocity_shape(vector_field, self.grid.shape)
-        spectra = np.stack([self.fft.forward(vector_field[i]) for i in range(3)], axis=0)
+        spectra = self.fft.forward_vector(vector_field)
         k1, k2, k3 = self.grid.wavenumber_mesh(real_last_axis=True, derivative=True)
-        ksq = k1 * k1 + k2 * k2 + k3 * k3
-        inv_ksq = np.zeros_like(ksq)
-        nonzero = ksq != 0.0
-        inv_ksq[nonzero] = 1.0 / ksq[nonzero]
+        inv_ksq = self.symbols.inv_derivative_ksq
         k_dot_v = k1 * spectra[0] + k2 * spectra[1] + k3 * spectra[2]
         factor = k_dot_v * inv_ksq
         projected = np.stack(
@@ -208,7 +218,7 @@ class SpectralOperators:
             ],
             axis=0,
         )
-        return np.stack([self.fft.backward(projected[i]) for i in range(3)], axis=0)
+        return self.fft.inverse_vector(projected)
 
     def is_divergence_free(self, vector_field: np.ndarray, tol: float = 1e-10) -> bool:
         """Check (up to *tol*, relative) that ``div v`` vanishes."""

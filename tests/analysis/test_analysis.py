@@ -1,6 +1,5 @@
 """Tests for repro.analysis: paper tables, reporting, experiment drivers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import (

@@ -1,0 +1,62 @@
+"""Regression tests pinning the paper's FFT complexity model (Sec. III-C4).
+
+The paper counts ``8*nt`` 3D FFTs per Gauss-Newton Hessian matvec.  In this
+implementation one "paper FFT" is a forward/inverse pair, and the exact
+per-matvec transform count for the Gauss-Newton, non-incompressible path is
+
+    transforms(nt) = 8*(nt + 1) + 6
+
+(``4*(nt+1)`` for the incremental-state source gradients, ``4*(nt+1)`` for
+the body-force integrand gradients — both trapezoid rules visit ``nt + 1``
+time levels — plus ``6`` for the batched regularization matvec), i.e.
+``4*nt + 7`` pairs, which sits inside the paper's ``8*nt`` budget for every
+``nt >= 2``.  These tests pin that number exactly so any refactor of the
+spectral layer (backends, batching, symbol caching) that changes the amount
+of FFT work is caught immediately, and they assert the count is identical
+for every available FFT backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import RegistrationProblem
+from repro.data.synthetic import synthetic_registration_problem
+from repro.spectral.backends import available_backends
+
+
+def exact_transforms_per_matvec(nt: int) -> int:
+    """Analytic transform count of one Gauss-Newton Hessian matvec."""
+    return 8 * (nt + 1) + 6
+
+
+def _measure_matvec_transforms(nt: int, backend: str) -> int:
+    synthetic = synthetic_registration_problem(8, num_time_steps=nt)
+    problem = RegistrationProblem(
+        grid=synthetic.grid,
+        reference=synthetic.reference,
+        template=synthetic.template,
+        num_time_steps=nt,
+        fft_backend=backend,
+    )
+    iterate = problem.linearize(problem.zero_velocity())
+    direction = 0.1 * np.random.default_rng(0).standard_normal((3, *problem.grid.shape))
+    before = problem.work_counters().fft_transforms
+    problem.hessian_matvec(iterate, direction)
+    return problem.work_counters().fft_transforms - before
+
+
+class TestPaperComplexityModel:
+    @pytest.mark.parametrize("nt", [2, 4])
+    def test_exact_transform_count(self, nt):
+        assert _measure_matvec_transforms(nt, "numpy") == exact_transforms_per_matvec(nt)
+
+    @pytest.mark.parametrize("nt", [2, 4, 8])
+    def test_within_paper_budget(self, nt):
+        """``4*nt + 7`` forward/inverse pairs fit the paper's ``8*nt`` FFTs."""
+        pairs = exact_transforms_per_matvec(nt) / 2
+        assert pairs <= 8 * nt
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_count_is_backend_independent(self, backend):
+        nt = 4
+        assert _measure_matvec_transforms(nt, backend) == exact_transforms_per_matvec(nt)

@@ -1,12 +1,10 @@
 """Tests for the coarse-to-fine (grid continuation) extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.optim.gauss_newton import SolverOptions
 from repro.core.optim.multilevel import MultilevelRegistration
 from repro.data.synthetic import synthetic_registration_problem
-from repro.spectral.grid import Grid
 
 
 @pytest.fixture(scope="module")

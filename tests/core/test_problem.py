@@ -15,7 +15,6 @@ import pytest
 
 from repro.core.problem import RegistrationProblem
 from repro.data.synthetic import synthetic_registration_problem
-from repro.spectral.grid import Grid
 
 from tests.conftest import smooth_vector_field
 

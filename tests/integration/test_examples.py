@@ -6,21 +6,30 @@ quantities it promises to report.  This keeps the examples from rotting as
 the library evolves.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 
 def run_example(name: str, *args: str, timeout: float = 300.0) -> str:
+    # the child process does not inherit pytest's `pythonpath` ini setting,
+    # so export src/ explicitly: the examples must run from a plain checkout
+    # (no editable install) exactly like the tier-1 suite does
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

@@ -18,7 +18,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.regularization import make_regularization
-from repro.data.synthetic import synthetic_velocity
 from repro.parallel.machines import MAVERICK
 from repro.parallel.pencil import PencilDecomposition
 from repro.parallel.performance import RegistrationCostModel
