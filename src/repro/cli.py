@@ -49,6 +49,11 @@ from repro.spectral.backends import (
     get_backend,
     registered_backends,
 )
+from repro.transport.kernels import (
+    available_backends as available_interp_backends,
+    get_backend as get_interp_backend,
+    registered_backends as registered_interp_backends,
+)
 from repro.utils.logging import set_verbosity
 
 
@@ -94,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
             f"or 'numpy'; available here: {', '.join(available_backends())})"
         ),
     )
+    reg.add_argument(
+        "--interp-backend",
+        choices=registered_interp_backends(),
+        default=None,
+        help=(
+            "gather engine for the semi-Lagrangian interpolation (default: "
+            "$REPRO_INTERP_BACKEND or 'scipy'; available here: "
+            f"{', '.join(available_interp_backends())})"
+        ),
+    )
 
     scal = subparsers.add_parser("scaling", help="print paper-vs-model scaling tables")
     scal.add_argument("--table", choices=("I", "II", "III", "IV"), default=None)
@@ -124,8 +139,9 @@ def _load_pair(args: argparse.Namespace):
 
 def _run_register(args: argparse.Namespace) -> int:
     try:
-        # resolve early (flag or $REPRO_FFT_BACKEND) for a clean error message
+        # resolve early (flag or environment) for a clean error message
         get_backend(args.fft_backend)
+        get_interp_backend(args.interp_backend)
     except (BackendUnavailableError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -144,6 +160,7 @@ def _run_register(args: argparse.Namespace) -> int:
         optimizer=args.optimizer,
         options=options,
         fft_backend=args.fft_backend,
+        interp_backend=args.interp_backend,
     )
     result = solver.run(template, reference, grid=grid)
     print(format_rows([result.summary()], title="Registration summary"))

@@ -78,6 +78,12 @@ class MultilevelRegistration:
     fft_backend:
         FFT engine name or instance used by every level's spectral operators
         (``None`` selects the environment default).
+    interpolation:
+        Semi-Lagrangian interpolation kernel used on every level.
+    interp_backend:
+        Interpolation engine name or instance used by every level's
+        transport solver (``None`` selects the environment default); each
+        level plans its own gather stencils on its own grid.
     """
 
     grid: Grid
@@ -91,6 +97,8 @@ class MultilevelRegistration:
     gauss_newton: bool = True
     options: SolverOptions = field(default_factory=SolverOptions)
     fft_backend: Optional[object] = None
+    interpolation: str = "cubic_bspline"
+    interp_backend: Optional[object] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_levels, "num_levels")
@@ -129,6 +137,8 @@ class MultilevelRegistration:
             num_time_steps=self.num_time_steps,
             gauss_newton=self.gauss_newton,
             fft_backend=self.fft_backend,
+            interpolation=self.interpolation,
+            interp_backend=self.interp_backend,
         )
 
     @staticmethod

@@ -76,7 +76,10 @@ class KernelWorkCounters:
     The paper's complexity model (Sec. III-C4) predicts ``8 nt`` FFTs and
     ``4 nt`` interpolation sweeps per Hessian mat-vec; these counters let the
     test-suite and the benchmark harness check the prediction against the
-    implementation.
+    implementation.  Both counts live in the respective frontends
+    (:class:`repro.spectral.fft.FourierTransform`,
+    :class:`repro.transport.interpolation.PeriodicInterpolator`), never in
+    the pluggable backends, so they are identical for every engine.
     """
 
     fft_transforms: int = 0
@@ -87,6 +90,15 @@ class KernelWorkCounters:
             fft_transforms=self.fft_transforms - other.fft_transforms,
             interpolated_points=self.interpolated_points - other.interpolated_points,
         )
+
+    def interpolation_sweeps(self, num_grid_points: int) -> float:
+        """Interpolated points expressed in grid sweeps (the paper's unit).
+
+        One "interpolation" of the complexity model is a sweep over all grid
+        points, so ``4*nt`` sweeps per Hessian mat-vec corresponds to
+        ``4*nt*N1*N2*N3`` interpolated points.
+        """
+        return self.interpolated_points / num_grid_points
 
 
 @dataclass
@@ -121,6 +133,10 @@ class RegistrationProblem:
         FFT engine name or instance (``"numpy"``, ``"scipy"``, ``"pyfftw"``,
         or ``None`` for the ``REPRO_FFT_BACKEND`` / numpy default) used when
         the spectral operators are constructed on demand.
+    interp_backend:
+        Interpolation engine name or instance (``"scipy"``, ``"numpy"``,
+        ``"numba"``, or ``None`` for the ``REPRO_INTERP_BACKEND`` / scipy
+        default) used when the transport solver is constructed on demand.
     """
 
     grid: Grid
@@ -133,6 +149,7 @@ class RegistrationProblem:
     gauss_newton: bool = True
     interpolation: str = "cubic_bspline"
     fft_backend: Optional[object] = None
+    interp_backend: Optional[object] = None
     operators: Optional[SpectralOperators] = None
     transport: Optional[TransportSolver] = None
     hessian_matvec_count: int = field(default=0, init=False)
@@ -157,6 +174,7 @@ class RegistrationProblem:
                 num_time_steps=self.num_time_steps,
                 interpolation=self.interpolation,
                 operators=self.operators,
+                interp_backend=self.interp_backend,
             )
         self.regularizer = make_regularization(self.regularization, self.operators, self.beta)
 
@@ -325,4 +343,5 @@ class RegistrationProblem:
             "gauss_newton": self.gauss_newton,
             "interpolation": self.interpolation,
             "fft_backend": self.operators.fft.backend_name,
+            "interp_backend": self.transport.interpolator.backend_name,
         }

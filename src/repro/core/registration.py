@@ -82,6 +82,11 @@ class RegistrationResult:
             "fft_backend": (
                 self.problem.operators.fft.backend_name if self.problem is not None else "?"
             ),
+            "interp_backend": (
+                self.problem.transport.interpolator.backend_name
+                if self.problem is not None
+                else "?"
+            ),
         }
 
 
@@ -118,6 +123,11 @@ class RegistrationSolver:
         FFT engine for every spectral operation of the pipeline
         (``"numpy"``, ``"scipy"``, ``"pyfftw"``, a backend instance, or
         ``None`` for the ``REPRO_FFT_BACKEND`` / numpy default).
+    interp_backend:
+        Interpolation engine for every semi-Lagrangian gather of the
+        pipeline (``"scipy"``, ``"numpy"``, ``"numba"``, a backend
+        instance, or ``None`` for the ``REPRO_INTERP_BACKEND`` / scipy
+        default).
     """
 
     beta: float = 1e-2
@@ -131,6 +141,7 @@ class RegistrationSolver:
     options: SolverOptions = field(default_factory=SolverOptions)
     interpolation: str = "cubic_bspline"
     fft_backend: Optional[object] = None
+    interp_backend: Optional[object] = None
 
     def build_problem(
         self,
@@ -174,6 +185,7 @@ class RegistrationSolver:
             gauss_newton=self.gauss_newton,
             interpolation=self.interpolation,
             fft_backend=self.fft_backend,
+            interp_backend=self.interp_backend,
         )
 
     def run(
@@ -204,6 +216,7 @@ class RegistrationSolver:
             num_time_steps=self.num_time_steps,
             interpolation=self.interpolation,
             operators=problem.operators,
+            interp_backend=self.interp_backend,
         )
         deformed_template = optimization.final_iterate.deformed_template
         res_before = residual_norm(problem.reference, problem.template, problem.grid)
@@ -249,6 +262,7 @@ def register(
     normalize: bool = True,
     interpolation: str = "cubic_bspline",
     fft_backend: Optional[object] = None,
+    interp_backend: Optional[object] = None,
 ) -> RegistrationResult:
     """Register *template* onto *reference* (functional convenience wrapper).
 
@@ -274,5 +288,6 @@ def register(
         normalize=normalize,
         interpolation=interpolation,
         fft_backend=fft_backend,
+        interp_backend=interp_backend,
     )
     return solver.run(template, reference, grid=grid)

@@ -31,7 +31,7 @@ from repro.parallel.comm import SimulatedCommunicator
 from repro.parallel.ghost import exchange_ghost_layers
 from repro.parallel.pencil import PencilDecomposition
 from repro.spectral.grid import Grid
-from repro.transport.interpolation import catmull_rom_weights
+from repro.transport.kernels import build_stencil_plan, execute_stencil_plan
 
 #: Halo width required by the 4-point (tricubic) stencil.
 GHOST_WIDTH = 2
@@ -42,21 +42,14 @@ def _local_catmull_rom(extended_block: np.ndarray, local_coords: np.ndarray) -> 
 
     ``local_coords`` are fractional indices **into the extended block**; the
     caller guarantees that the full 4x4x4 stencil lies inside the block.
+    This is the same registered stencil kernel the serial backends evaluate
+    (:mod:`repro.transport.kernels`), run in its non-periodic form.
     """
-    base = np.floor(local_coords).astype(np.intp)
-    frac = local_coords - base
-    weights = [catmull_rom_weights(frac[d]) for d in range(3)]
-    values = np.zeros(local_coords.shape[1], dtype=np.float64)
-    for a in range(4):
-        ia = base[0] + a - 1
-        wa = weights[0][a]
-        for b in range(4):
-            ib = base[1] + b - 1
-            wab = wa * weights[1][b]
-            for c in range(4):
-                ic = base[2] + c - 1
-                values += wab * weights[2][c] * extended_block[ia, ib, ic]
-    return values
+    plan = build_stencil_plan(
+        extended_block.shape, local_coords, "catmull_rom", periodic=False
+    )
+    flat = np.ascontiguousarray(extended_block, dtype=np.float64).reshape(1, -1)
+    return execute_stencil_plan(flat, plan)[0]
 
 
 @dataclass

@@ -9,58 +9,58 @@ interpolation accumulates too much error over the time steps.
 Three interpolation kernels are provided:
 
 ``"cubic_bspline"`` (default)
-    Interpolating tricubic B-spline via :func:`scipy.ndimage.map_coordinates`
-    with a periodic (``grid-wrap``) boundary.  This is the fastest option in
-    pure Python and is 4th-order accurate for smooth fields.
+    Interpolating tricubic B-spline (prefilter + basis gather), 4th-order
+    accurate for smooth fields.
 ``"catmull_rom"``
-    Hand-written, fully vectorized tricubic convolution (Catmull-Rom kernel,
-    the classical "tricubic interpolation" of the paper, 64 coefficients per
-    point).  This is the kernel re-used verbatim by the distributed
-    interpolation in :mod:`repro.parallel`, where each rank evaluates it on
-    its local ghosted block.
+    Tricubic convolution (Catmull-Rom kernel, the classical "tricubic
+    interpolation" of the paper, 64 coefficients per point).  This is the
+    kernel re-used verbatim by the distributed interpolation in
+    :mod:`repro.parallel`, where each rank evaluates it on its local
+    ghosted block.
 ``"linear"``
     Trilinear interpolation, provided as the ablation baseline
     (``benchmarks/bench_ablation_interpolation.py``).
+
+The *engine* evaluating a kernel is pluggable (``scipy``, ``numpy``,
+``numba`` — see :mod:`repro.transport.kernels`), selected per constructor,
+via ``REPRO_INTERP_BACKEND``, or the ``--interp-backend`` CLI flag.  This
+frontend owns validation, coordinate wrapping, **gather plans** (the cached
+64-weight/index stencils reused across every field interpolated at one set
+of departure points) and the interpolation counters; counting never happens
+in the backends, so the counters — which the test-suite checks against the
+paper's ``4*nt`` sweeps-per-matvec complexity model — are exactly identical
+no matter which engine gathers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
-from scipy import ndimage
 
 from repro.spectral.grid import Grid
+from repro.transport.kernels import (
+    SUPPORTED_METHODS,
+    GatherPlan,
+    InterpolationBackend,
+    catmull_rom_weights,
+    get_backend,
+    linear_weights,
+)
 
-_SUPPORTED_METHODS = ("cubic_bspline", "catmull_rom", "linear")
+__all__ = [
+    "PeriodicInterpolator",
+    "TRICUBIC_FLOPS_PER_POINT",
+    "catmull_rom_weights",
+    "linear_weights",
+]
+
+_SUPPORTED_METHODS = SUPPORTED_METHODS
 
 #: Number of floating point operations per interpolated point for the
 #: tricubic kernel; the paper estimates "roughly 10 x 64" flops per point
 #: (Sec. III-C2).  Used by the performance model.
 TRICUBIC_FLOPS_PER_POINT = 640
-
-
-def catmull_rom_weights(t: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Catmull-Rom convolution weights for samples at offsets ``-1, 0, 1, 2``.
-
-    Parameters
-    ----------
-    t:
-        Fractional coordinate in ``[0, 1)`` relative to the base grid point.
-    """
-    t2 = t * t
-    t3 = t2 * t
-    w0 = -0.5 * t3 + t2 - 0.5 * t
-    w1 = 1.5 * t3 - 2.5 * t2 + 1.0
-    w2 = -1.5 * t3 + 2.0 * t2 + 0.5 * t
-    w3 = 0.5 * t3 - 0.5 * t2
-    return w0, w1, w2, w3
-
-
-def linear_weights(t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Linear interpolation weights for samples at offsets ``0, 1``."""
-    return 1.0 - t, t
 
 
 @dataclass
@@ -73,10 +73,16 @@ class PeriodicInterpolator:
         Grid on which the interpolated fields are defined.
     method:
         One of ``"cubic_bspline"``, ``"catmull_rom"`` or ``"linear"``.
+    backend:
+        Gather engine: a registered backend name (``"scipy"``, ``"numpy"``,
+        ``"numba"``), a backend instance, or ``None`` for the
+        ``REPRO_INTERP_BACKEND`` / ``"scipy"`` default (see
+        :func:`repro.transport.kernels.get_backend`).
     """
 
     grid: Grid
     method: str = "cubic_bspline"
+    backend: "str | InterpolationBackend | None" = None
 
     def __post_init__(self) -> None:
         if self.method not in _SUPPORTED_METHODS:
@@ -84,8 +90,14 @@ class PeriodicInterpolator:
                 f"unknown interpolation method {self.method!r}; "
                 f"expected one of {_SUPPORTED_METHODS}"
             )
+        self.backend = get_backend(self.backend)
         self._spacing = np.asarray(self.grid.spacing, dtype=np.float64)
         self.points_interpolated = 0
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active gather engine."""
+        return self.backend.name
 
     # ------------------------------------------------------------------ #
     # coordinate handling
@@ -101,6 +113,59 @@ class PeriodicInterpolator:
         q = flat / self._spacing[:, None]
         shape = np.asarray(self.grid.shape, dtype=np.float64)[:, None]
         return np.mod(q, shape)
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def plan(self, points: np.ndarray) -> GatherPlan:
+        """Precompute a gather plan for *points* (the paper's planner phase).
+
+        The plan caches the wrapped coordinates and — for engines with an
+        explicit stencil — the base indices and per-axis kernel weights, so
+        every field interpolated at the same points skips that work.  The
+        planned path is bitwise identical to the unplanned one.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        coordinates = self.to_index_coordinates(points)
+        payload = None
+        if self.backend.supports_plan(self.method):
+            payload = self.backend.build_plan(self.grid.shape, coordinates, self.method)
+        return GatherPlan(
+            method=self.method,
+            backend_name=self.backend.name,
+            grid_shape=self.grid.shape,
+            output_shape=points.shape[1:],
+            coordinates=coordinates,
+            payload=payload,
+        )
+
+    def _check_plan(self, plan: GatherPlan) -> None:
+        if plan.grid_shape != self.grid.shape:
+            raise ValueError(
+                f"gather plan was built for grid {plan.grid_shape}, "
+                f"but this interpolator is bound to {self.grid.shape}"
+            )
+        if plan.method != self.method:
+            raise ValueError(
+                f"gather plan was built for method {plan.method!r}, "
+                f"but this interpolator uses {self.method!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # gathering (counting lives here, never in the backends)
+    # ------------------------------------------------------------------ #
+    def _gather(self, fields: np.ndarray, plan: GatherPlan) -> np.ndarray:
+        self.points_interpolated += fields.shape[0] * plan.num_points
+        return self.backend.gather(fields, plan.coordinates, plan.payload, self.method)
+
+    def _check_stack(self, fields: np.ndarray) -> np.ndarray:
+        fields = np.asarray(fields)
+        if fields.ndim != 4 or fields.shape[1:] != self.grid.shape:
+            raise ValueError(
+                f"stacked fields have shape {fields.shape}, "
+                f"expected (B, {', '.join(map(str, self.grid.shape))})"
+            )
+        return fields
 
     # ------------------------------------------------------------------ #
     # public API
@@ -121,16 +186,41 @@ class PeriodicInterpolator:
             raise ValueError(
                 f"field has shape {field.shape}, expected {self.grid.shape}"
             )
-        points = np.asarray(points, dtype=np.float64)
-        out_shape = points.shape[1:]
-        q = self.to_index_coordinates(points)
-        self.points_interpolated += q.shape[1]
-        if self.method == "cubic_bspline":
-            values = ndimage.map_coordinates(field, q, order=3, mode="grid-wrap")
-        elif self.method == "linear":
-            values = ndimage.map_coordinates(field, q, order=1, mode="grid-wrap")
-        else:  # catmull_rom
-            values = self._catmull_rom(field, q)
+        plan = self.plan(points)
+        values = self._gather(field[None], plan)[0]
+        return values.reshape(plan.output_shape).astype(self.grid.dtype, copy=False)
+
+    def interpolate_planned(self, field: np.ndarray, plan: GatherPlan) -> np.ndarray:
+        """Interpolate *field* at the points of a precomputed *plan*."""
+        field = np.asarray(field)
+        if field.shape != self.grid.shape:
+            raise ValueError(
+                f"field has shape {field.shape}, expected {self.grid.shape}"
+            )
+        self._check_plan(plan)
+        values = self._gather(field[None], plan)[0]
+        return values.reshape(plan.output_shape).astype(self.grid.dtype, copy=False)
+
+    def interpolate_many(self, fields: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Interpolate a ``(B, N1, N2, N3)`` stack at *points* in one gather.
+
+        All fields share the index computation of one gather pass (and, on
+        planned paths, the cached stencil), which is the batching the paper
+        exploits for the velocity components of the RK2 trace and the
+        state/adjoint histories.
+        """
+        fields = self._check_stack(fields)
+        plan = self.plan(points)
+        values = self._gather(fields, plan)
+        out_shape = (fields.shape[0], *plan.output_shape)
+        return values.reshape(out_shape).astype(self.grid.dtype, copy=False)
+
+    def interpolate_many_planned(self, fields: np.ndarray, plan: GatherPlan) -> np.ndarray:
+        """Batched interpolation of a field stack at the points of *plan*."""
+        fields = self._check_stack(fields)
+        self._check_plan(plan)
+        values = self._gather(fields, plan)
+        out_shape = (fields.shape[0], *plan.output_shape)
         return values.reshape(out_shape).astype(self.grid.dtype, copy=False)
 
     def interpolate_vector(self, vector_field: np.ndarray, points: np.ndarray) -> np.ndarray:
@@ -141,33 +231,9 @@ class PeriodicInterpolator:
                 f"vector field has shape {vector_field.shape}, "
                 f"expected {(3, *self.grid.shape)}"
             )
-        return np.stack([self(vector_field[i], points) for i in range(3)], axis=0)
+        return self.interpolate_many(vector_field, points)
 
     # ------------------------------------------------------------------ #
-    # kernels
-    # ------------------------------------------------------------------ #
-    def _catmull_rom(self, field: np.ndarray, q: np.ndarray) -> np.ndarray:
-        """Vectorized tricubic (Catmull-Rom) convolution on periodic data."""
-        n1, n2, n3 = self.grid.shape
-        base = np.floor(q).astype(np.intp)
-        frac = q - base
-
-        weights = [catmull_rom_weights(frac[d]) for d in range(3)]
-        idx = []
-        for d, n in enumerate((n1, n2, n3)):
-            idx.append([(base[d] + offset - 1) % n for offset in range(4)])
-
-        values = np.zeros(q.shape[1], dtype=np.float64)
-        for a in range(4):
-            ia = idx[0][a]
-            wa = weights[0][a]
-            for b in range(4):
-                ib = idx[1][b]
-                wab = wa * weights[1][b]
-                for c in range(4):
-                    values += wab * weights[2][c] * field[ia, ib, idx[2][c]]
-        return values
-
     def flops(self) -> int:
         """Estimated floating point work of all interpolations so far."""
         if self.method == "linear":

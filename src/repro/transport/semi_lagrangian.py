@@ -24,8 +24,14 @@ Implements the scheme of Sec. III-B2 (Eqs. 6 and 7 of the paper):
 The departure points depend only on the (stationary) velocity and the time
 step, so they are computed once per velocity and re-used for every time step
 and every transported field — the "interpolation planner"/scatter phase of
-Sec. III-C2.  The same machinery handles the adjoint equations after the time
-reversal ``tau = 1 - t`` by passing ``-v``.
+Sec. III-C2.  The stepper goes one step further and caches the full
+**gather plan** (base indices + per-axis kernel weights, see
+:mod:`repro.transport.kernels`) for its departure points, so repeated steps
+never re-derive the interpolation stencil; fields that are interpolated
+together (the transported quantity and its source, the three velocity
+components of the RK2 trace) move through one batched gather pass.  The
+same machinery handles the adjoint equations after the time reversal
+``tau = 1 - t`` by passing ``-v``.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import numpy as np
 
 from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
+from repro.transport.kernels import GatherPlan
 from repro.utils.validation import check_velocity_shape
 
 
@@ -109,11 +116,18 @@ class SemiLagrangianStepper:
         self.departure_points = compute_departure_points(
             self.grid, self.velocity, self.dt, self.interpolator
         )
+        # the paper's planning phase: the gather stencil of the departure
+        # points is computed once and reused by every step of every field
+        self.departure_plan: GatherPlan = self.interpolator.plan(self.departure_points)
 
     # ------------------------------------------------------------------ #
     def interpolate_at_departure(self, field: np.ndarray) -> np.ndarray:
         """Interpolate a grid field at the cached departure points."""
-        return self.interpolator(field, self.departure_points)
+        return self.interpolator.interpolate_planned(field, self.departure_plan)
+
+    def interpolate_many_at_departure(self, fields: np.ndarray) -> np.ndarray:
+        """Batched interpolation of a ``(B, N1, N2, N3)`` stack at the plan."""
+        return self.interpolator.interpolate_many_planned(fields, self.departure_plan)
 
     def step(
         self,
@@ -146,15 +160,18 @@ class SemiLagrangianStepper:
         if nu.shape != self.grid.shape:
             raise ValueError(f"field has shape {nu.shape}, expected {self.grid.shape}")
 
-        nu_dep = self.interpolate_at_departure(nu)
         if source_old is None and source_new is None:
             # pure advection: nu(x, t+dt) = nu(X, t)
-            return nu_dep
+            return self.interpolate_at_departure(nu)
 
         if source_old is None:
+            nu_dep = self.interpolate_at_departure(nu)
             f_dep = np.zeros_like(nu_dep)
         else:
-            f_dep = self.interpolator(np.asarray(source_old), self.departure_points)
+            # one batched gather for the transported field and its source
+            nu_dep, f_dep = self.interpolate_many_at_departure(
+                np.stack([nu, np.asarray(source_old)], axis=0)
+            )
 
         predictor = nu_dep + self.dt * f_dep
 
@@ -168,6 +185,49 @@ class SemiLagrangianStepper:
             raise ValueError(
                 f"source has shape {f_new.shape}, expected {self.grid.shape}"
             )
+        return nu_dep + 0.5 * self.dt * (f_dep + f_new)
+
+    def step_many(
+        self,
+        fields: np.ndarray,
+        sources_old: Optional[np.ndarray] = None,
+        sources_new: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance a ``(B, N1, N2, N3)`` stack of fields by one time step.
+
+        The batched counterpart of :meth:`step` for sources given as grid
+        arrays: the fields and their old-time sources are interpolated at
+        the shared departure points in a *single* gather pass through the
+        cached plan (e.g. the three displacement components and the three
+        velocity components of the deformation-map transport).
+        """
+        fields = np.asarray(fields)
+        if sources_old is None and sources_new is None:
+            return self.interpolate_many_at_departure(fields)
+
+        batch = fields.shape[0]
+        if sources_old is None:
+            dep = self.interpolate_many_at_departure(fields)
+            nu_dep, f_dep = dep, np.zeros_like(dep)
+        else:
+            sources_old = np.asarray(sources_old)
+            if sources_old.shape != fields.shape:
+                raise ValueError(
+                    f"sources have shape {sources_old.shape}, expected {fields.shape}"
+                )
+            dep = self.interpolate_many_at_departure(
+                np.concatenate([fields, sources_old], axis=0)
+            )
+            nu_dep, f_dep = dep[:batch], dep[batch:]
+
+        if sources_new is None:
+            f_new = np.zeros_like(nu_dep)
+        else:
+            f_new = np.asarray(sources_new)
+            if f_new.shape != fields.shape:
+                raise ValueError(
+                    f"sources have shape {f_new.shape}, expected {fields.shape}"
+                )
         return nu_dep + 0.5 * self.dt * (f_dep + f_new)
 
     # ------------------------------------------------------------------ #

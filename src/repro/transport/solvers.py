@@ -44,7 +44,11 @@ class TransportPlan:
     departure points are computed once per velocity for the forward
     characteristics (velocity ``v``) and once for the backward
     characteristics (velocity ``-v``), then re-used by the state, adjoint and
-    both incremental equations of every Hessian matvec (Sec. III-C2).
+    both incremental equations of every Hessian matvec (Sec. III-C2).  Each
+    stepper additionally caches the gather plan (base indices + per-axis
+    interpolation weights, :mod:`repro.transport.kernels`) of its departure
+    points, so the Hessian mat-vecs never re-derive stencils they already
+    have.
     """
 
     velocity: np.ndarray
@@ -54,6 +58,16 @@ class TransportPlan:
     backward_stepper: SemiLagrangianStepper
     divergence: np.ndarray
     is_divergence_free: bool
+
+    @property
+    def forward_gather_plan(self):
+        """Cached gather plan of the forward characteristics."""
+        return self.forward_stepper.departure_plan
+
+    @property
+    def backward_gather_plan(self):
+        """Cached gather plan of the backward characteristics."""
+        return self.backward_stepper.departure_plan
 
 
 @dataclass
@@ -74,6 +88,10 @@ class TransportSolver:
         FFT engine name or instance used when *operators* is constructed on
         demand (``None`` selects the environment default); ignored when
         *operators* is provided.
+    interp_backend:
+        Interpolation engine name or instance (``"scipy"``, ``"numpy"``,
+        ``"numba"``, or ``None`` for the ``REPRO_INTERP_BACKEND`` / scipy
+        default) used by the semi-Lagrangian gathers.
     """
 
     grid: Grid
@@ -81,6 +99,7 @@ class TransportSolver:
     interpolation: str = "cubic_bspline"
     operators: Optional[SpectralOperators] = None
     fft_backend: Optional[object] = None
+    interp_backend: Optional[object] = None
     divergence_tolerance: float = 1e-8
     _interpolator: PeriodicInterpolator = field(init=False, repr=False)
 
@@ -88,7 +107,9 @@ class TransportSolver:
         check_positive_int(self.num_time_steps, "num_time_steps")
         if self.operators is None:
             self.operators = SpectralOperators(self.grid, fft_backend=self.fft_backend)
-        self._interpolator = PeriodicInterpolator(self.grid, self.interpolation)
+        self._interpolator = PeriodicInterpolator(
+            self.grid, self.interpolation, backend=self.interp_backend
+        )
 
     # ------------------------------------------------------------------ #
     # planning

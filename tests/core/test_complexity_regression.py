@@ -1,8 +1,11 @@
-"""Regression tests pinning the paper's FFT complexity model (Sec. III-C4).
+"""Regression tests pinning the paper's kernel complexity model (Sec. III-C4).
 
-The paper counts ``8*nt`` 3D FFTs per Gauss-Newton Hessian matvec.  In this
-implementation one "paper FFT" is a forward/inverse pair, and the exact
-per-matvec transform count for the Gauss-Newton, non-incompressible path is
+The paper counts ``8*nt`` 3D FFTs and ``4*nt`` interpolation sweeps per
+Gauss-Newton Hessian matvec.
+
+**FFTs.**  In this implementation one "paper FFT" is a forward/inverse pair,
+and the exact per-matvec transform count for the Gauss-Newton,
+non-incompressible path is
 
     transforms(nt) = 8*(nt + 1) + 6
 
@@ -10,10 +13,22 @@ per-matvec transform count for the Gauss-Newton, non-incompressible path is
 the body-force integrand gradients — both trapezoid rules visit ``nt + 1``
 time levels — plus ``6`` for the batched regularization matvec), i.e.
 ``4*nt + 7`` pairs, which sits inside the paper's ``8*nt`` budget for every
-``nt >= 2``.  These tests pin that number exactly so any refactor of the
-spectral layer (backends, batching, symbol caching) that changes the amount
-of FFT work is caught immediately, and they assert the count is identical
-for every available FFT backend.
+``nt >= 2``.
+
+**Interpolations.**  One "sweep" is an interpolation of all grid points at
+the cached departure points.  The incremental state performs 2 sweeps per
+time step (the transported field and its source move through one batched
+gather); the incremental adjoint performs 2 for a general velocity (the
+``div v`` source) and 1 when the velocity is divergence-free:
+
+    sweeps(nt) = 4*nt          (general velocity; exactly the paper's count)
+    sweeps(nt) = 3*nt          (divergence-free velocity)
+
+These tests pin both numbers exactly so any refactor of the spectral or
+interpolation layers (backends, batching, plan caching) that changes the
+amount of kernel work is caught immediately, and they assert the counts are
+identical for every available FFT / interpolation backend — counting lives
+in the frontends, never in the pluggable engines.
 """
 
 import numpy as np
@@ -21,7 +36,8 @@ import pytest
 
 from repro.core.problem import RegistrationProblem
 from repro.data.synthetic import synthetic_registration_problem
-from repro.spectral.backends import available_backends
+from repro.spectral.backends import available_backends as available_fft_backends
+from repro.transport.kernels import available_backends as available_interp_backends
 
 
 def exact_transforms_per_matvec(nt: int) -> int:
@@ -29,26 +45,49 @@ def exact_transforms_per_matvec(nt: int) -> int:
     return 8 * (nt + 1) + 6
 
 
-def _measure_matvec_transforms(nt: int, backend: str) -> int:
+def exact_interpolation_sweeps_per_matvec(nt: int, divergence_free: bool = False) -> int:
+    """Analytic interpolation-sweep count of one Gauss-Newton Hessian matvec."""
+    return 3 * nt if divergence_free else 4 * nt
+
+
+def _build_problem(nt: int, fft_backend: str = "numpy", interp_backend: str = None):
     synthetic = synthetic_registration_problem(8, num_time_steps=nt)
-    problem = RegistrationProblem(
+    return RegistrationProblem(
         grid=synthetic.grid,
         reference=synthetic.reference,
         template=synthetic.template,
         num_time_steps=nt,
-        fft_backend=backend,
+        fft_backend=fft_backend,
+        interp_backend=interp_backend,
     )
-    iterate = problem.linearize(problem.zero_velocity())
+
+
+def _generic_velocity(problem) -> np.ndarray:
+    """A smooth velocity with ``div v != 0`` (exercises the source branch)."""
+    x1, x2, x3 = problem.grid.coordinates()
+    return 0.1 * np.stack(
+        [np.sin(x1) * np.cos(x2), np.cos(x2) * np.sin(x3), np.sin(x3) * np.cos(x1)],
+        axis=0,
+    )
+
+
+def _measure_matvec_work(nt: int, fft_backend: str = "numpy", interp_backend: str = None):
+    problem = _build_problem(nt, fft_backend, interp_backend)
+    velocity = _generic_velocity(problem)
+    iterate = problem.linearize(velocity)
+    assert not iterate.plan.is_divergence_free
     direction = 0.1 * np.random.default_rng(0).standard_normal((3, *problem.grid.shape))
-    before = problem.work_counters().fft_transforms
+    before = problem.work_counters()
     problem.hessian_matvec(iterate, direction)
-    return problem.work_counters().fft_transforms - before
+    delta = problem.work_counters() - before
+    return delta.fft_transforms, delta.interpolation_sweeps(problem.grid.num_points)
 
 
 class TestPaperComplexityModel:
     @pytest.mark.parametrize("nt", [2, 4])
     def test_exact_transform_count(self, nt):
-        assert _measure_matvec_transforms(nt, "numpy") == exact_transforms_per_matvec(nt)
+        transforms, _ = _measure_matvec_work(nt)
+        assert transforms == exact_transforms_per_matvec(nt)
 
     @pytest.mark.parametrize("nt", [2, 4, 8])
     def test_within_paper_budget(self, nt):
@@ -56,7 +95,44 @@ class TestPaperComplexityModel:
         pairs = exact_transforms_per_matvec(nt) / 2
         assert pairs <= 8 * nt
 
-    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("backend", available_fft_backends())
     def test_count_is_backend_independent(self, backend):
         nt = 4
-        assert _measure_matvec_transforms(nt, backend) == exact_transforms_per_matvec(nt)
+        transforms, _ = _measure_matvec_work(nt, fft_backend=backend)
+        assert transforms == exact_transforms_per_matvec(nt)
+
+
+class TestInterpolationSweeps:
+    """Pin the paper's ``4*nt`` interpolation sweeps per Hessian matvec."""
+
+    @pytest.mark.parametrize("nt", [2, 4])
+    def test_exact_sweep_count_general_velocity(self, nt):
+        _, sweeps = _measure_matvec_work(nt)
+        assert sweeps == exact_interpolation_sweeps_per_matvec(nt)
+
+    @pytest.mark.parametrize("nt", [2, 4, 8])
+    def test_within_paper_budget(self, nt):
+        """The matvec never exceeds the paper's ``4*nt`` sweeps."""
+        assert exact_interpolation_sweeps_per_matvec(nt) <= 4 * nt
+        assert exact_interpolation_sweeps_per_matvec(nt, divergence_free=True) <= 4 * nt
+
+    def test_divergence_free_velocity_saves_a_sweep_per_step(self):
+        nt = 4
+        problem = _build_problem(nt)
+        iterate = problem.linearize(problem.zero_velocity())
+        assert iterate.plan.is_divergence_free
+        direction = 0.1 * np.random.default_rng(1).standard_normal(
+            (3, *problem.grid.shape)
+        )
+        before = problem.work_counters()
+        problem.hessian_matvec(iterate, direction)
+        delta = problem.work_counters() - before
+        sweeps = delta.interpolation_sweeps(problem.grid.num_points)
+        assert sweeps == exact_interpolation_sweeps_per_matvec(nt, divergence_free=True)
+
+    @pytest.mark.parametrize("backend", available_interp_backends())
+    def test_count_is_backend_independent(self, backend):
+        """Counter parity: every gather engine reports identical work."""
+        nt = 4
+        _, sweeps = _measure_matvec_work(nt, interp_backend=backend)
+        assert sweeps == exact_interpolation_sweeps_per_matvec(nt)

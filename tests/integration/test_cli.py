@@ -26,6 +26,18 @@ class TestParser:
         assert args.beta == pytest.approx(1e-2)
         assert args.nt == 4
         assert args.optimizer == "gauss_newton"
+        assert args.fft_backend is None
+        assert args.interp_backend is None
+
+    def test_interp_backend_choices(self):
+        args = build_parser().parse_args(
+            ["register", "--synthetic", "16", "--interp-backend", "numpy"]
+        )
+        assert args.interp_backend == "numpy"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["register", "--synthetic", "16", "--interp-backend", "cuda"]
+            )
 
 
 class TestRegisterCommand:
@@ -59,6 +71,32 @@ class TestRegisterCommand:
         )
         assert code == 0
         assert "Registration summary" in capsys.readouterr().out
+
+    def test_interp_backend_run(self, capsys):
+        code = main(
+            [
+                "register",
+                "--synthetic", "12",
+                "--interp-backend", "numpy",
+                "--max-newton", "2",
+                "--max-krylov", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Registration summary" in out
+        assert "numpy" in out
+
+    def test_unavailable_interp_backend_is_a_clean_error(self, capsys):
+        try:
+            import numba  # noqa: F401
+
+            pytest.skip("numba is installed; unavailability path not testable")
+        except ImportError:
+            pass
+        code = main(["register", "--synthetic", "12", "--interp-backend", "numba"])
+        assert code == 2
+        assert "not available" in capsys.readouterr().err
 
     def test_brain_incompressible_run(self, capsys):
         code = main(
