@@ -12,10 +12,14 @@ vector-field FFT of every available backend at 128^3 and writes the
 comparison table to ``benchmarks/results/fft_backend_comparison.txt``;
 ``test_bench_interp_backend_comparison`` does the same for the
 interpolation subsystem (scalar vs batched, plan-cached vs uncached, per
-gather engine) and writes ``benchmarks/results/interp_backend_comparison.txt``
-(both time directly instead of using the ``benchmark`` fixture so all
-backends land in one table; run them with ``--benchmark-disable`` or a
-plain pytest invocation).
+gather engine) and writes ``benchmarks/results/interp_backend_comparison.txt``;
+``test_bench_plan_memory`` compares the fat and memory-lean stencil-plan
+layouts (bytes, build time, execute time) at 128^3 and pins the ISSUE's
+<= 30% memory criterion.  All three also emit machine-readable twins
+(``benchmarks/results/*.json``) so the perf trajectory can be tracked
+across PRs.  (They time directly instead of using the ``benchmark``
+fixture so all backends land in one table; run them with
+``--benchmark-disable`` or a plain pytest invocation.)
 """
 
 import os
@@ -31,7 +35,11 @@ from repro.spectral.fft import FourierTransform
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 from repro.transport.interpolation import PeriodicInterpolator
-from repro.transport.kernels import available_backends as available_interp_backends
+from repro.transport.kernels import (
+    available_backends as available_interp_backends,
+    build_stencil_plan,
+    execute_stencil_plan,
+)
 from repro.transport.semi_lagrangian import SemiLagrangianStepper
 from repro.transport.solvers import TransportSolver
 
@@ -44,6 +52,9 @@ BACKEND_COMPARISON_N = 128
 #: acceptance benchmark runs at 128^3; override with REPRO_BENCH_INTERP_N
 #: for quick local iterations).
 INTERP_COMPARISON_N = int(os.environ.get("REPRO_BENCH_INTERP_N", "128"))
+
+#: Resolution of the stencil-plan memory comparison (fat vs lean layout).
+PLAN_MEMORY_N = int(os.environ.get("REPRO_BENCH_PLAN_N", "128"))
 
 
 @pytest.fixture(scope="module")
@@ -138,7 +149,7 @@ def _best_of(fn, repeats: int = 5) -> float:
     return best
 
 
-def test_bench_fft_backend_comparison(record_text):
+def test_bench_fft_backend_comparison(record_text, record_json):
     """Batched (3, 128, 128, 128) vector FFT round trip, per backend.
 
     Produces the comparison table the ISSUE's acceptance criterion asks for
@@ -166,6 +177,23 @@ def test_bench_fft_backend_comparison(record_text):
             f"{name:<10} {forward:>12.4f} {inverse:>12.4f} {total:>12.4f} {base_total / total:>8.2f}x"
         )
     record_text("fft_backend_comparison", "\n".join(rows))
+    record_json(
+        "fft_backend_comparison",
+        {
+            "benchmark": "batched vector FFT round trip",
+            "grid": [n, n, n],
+            "repeats": "best of 5",
+            "backends": {
+                name: {
+                    "forward_seconds": forward,
+                    "inverse_seconds": inverse,
+                    "total_seconds": forward + inverse,
+                    "speedup_vs_numpy": base_total / (forward + inverse),
+                }
+                for name, (forward, inverse) in timings.items()
+            },
+        },
+    )
 
     # acceptance criterion; REPRO_BENCH_NONSTRICT=1 downgrades a loss to a
     # skip for noisy shared runners where wall-clock comparisons can flip
@@ -179,7 +207,7 @@ def test_bench_fft_backend_comparison(record_text):
 # --------------------------------------------------------------------------- #
 # per-backend interpolation comparison (written to benchmarks/results/)
 # --------------------------------------------------------------------------- #
-def test_bench_interp_backend_comparison(record_text):
+def test_bench_interp_backend_comparison(record_text, record_json):
     """Semi-Lagrangian interpolation at 128^3, per backend and gather mode.
 
     Times the production ``PeriodicInterpolator`` paths at realistic
@@ -187,7 +215,9 @@ def test_bench_interp_backend_comparison(record_text):
     and plan-cached vs uncached for every available gather engine, for both
     tricubic kernels.  Produces the comparison table the ISSUE's acceptance
     criterion asks for and asserts that the cached-plan batched path beats
-    the seed path (``scipy`` ``cubic_bspline``, scalar, uncached).
+    the seed path (``scipy`` ``cubic_bspline``, scalar, uncached).  The
+    JSON twin additionally records plan-build vs execute time and the plan
+    bytes of every engine.
     """
     n = INTERP_COMPARISON_N
     grid = Grid((n, n, n))
@@ -201,6 +231,7 @@ def test_bench_interp_backend_comparison(record_text):
     ] * 3.0 * rng.standard_normal((3, grid.num_points))
 
     timings = {}
+    plan_bytes = {}
     for backend in available_interp_backends():
         for method in ("cubic_bspline", "catmull_rom"):
             interp = PeriodicInterpolator(grid, method, backend=backend)
@@ -223,6 +254,7 @@ def test_bench_interp_backend_comparison(record_text):
                 "scalar, plan-cached": scalar_cached,
                 "batched(3), plan-cached": batched_cached,
             }
+            plan_bytes[(backend, method)] = plan.nbytes
 
     seed = timings[("scipy", "cubic_bspline")]["scalar, uncached"]
     header = (
@@ -244,6 +276,28 @@ def test_bench_interp_backend_comparison(record_text):
             f"{backend:<8} {method:<14} {'plan build (amortized)':<24} {modes['build']:>14.4f}"
         )
     record_text("interp_backend_comparison", "\n".join(rows))
+    record_json(
+        "interp_backend_comparison",
+        {
+            "benchmark": "semi-Lagrangian interpolation, per gather engine",
+            "grid": [n, n, n],
+            "num_points": grid.num_points,
+            "repeats": "best of 3",
+            "seed_path": "scipy cubic_bspline, scalar, uncached",
+            "seed_seconds_per_field": seed,
+            "engines": {
+                f"{backend}/{method}": {
+                    "plan_build_seconds": modes["build"],
+                    "plan_nbytes": plan_bytes[(backend, method)],
+                    "scalar_uncached_seconds": modes["scalar, uncached"],
+                    "scalar_plan_cached_seconds": modes["scalar, plan-cached"],
+                    "batched3_plan_cached_seconds_per_field": modes["batched(3), plan-cached"],
+                    "speedup_vs_seed": seed / modes["batched(3), plan-cached"],
+                }
+                for (backend, method), modes in timings.items()
+            },
+        },
+    )
 
     # acceptance criterion: the cached-plan batched tricubic path must beat
     # the seed scalar path; REPRO_BENCH_NONSTRICT=1 downgrades a loss to a
@@ -261,3 +315,93 @@ def test_bench_interp_backend_comparison(record_text):
         if os.environ.get("REPRO_BENCH_NONSTRICT"):
             pytest.skip(message)
         raise AssertionError(message)
+
+
+# --------------------------------------------------------------------------- #
+# stencil-plan memory: fat vs lean layout (written to benchmarks/results/)
+# --------------------------------------------------------------------------- #
+def test_bench_plan_memory(record_text, record_json):
+    """Fat vs memory-lean stencil plans at 128^3: bytes, build, execute.
+
+    Pins the ISSUE's acceptance criterion deterministically (no wall-clock
+    gate): the lean tricubic plan must use <= 30% of the fat layout's
+    memory while gathering bitwise-identical values.  The JSON twin records
+    plan bytes and plan-build vs execute time for both layouts, plus the
+    analytic per-point memory model for 64^3/128^3/256^3 (the README's
+    pool-sizing table).
+    """
+    n = PLAN_MEMORY_N
+    grid = Grid((n, n, n))
+    rng = np.random.default_rng(0)
+    field = rng.standard_normal(grid.shape)
+    flat = field.reshape(1, -1)
+    # departure-point-like coordinates (grid-ordered, CFL-scale displaced),
+    # pre-wrapped into [0, N) as the interpolation frontend does
+    points = grid.coordinate_stack().reshape(3, -1) + np.asarray(grid.spacing)[
+        :, None
+    ] * 3.0 * rng.standard_normal((3, grid.num_points))
+    coords = np.mod(points / np.asarray(grid.spacing)[:, None], n)
+
+    method = "catmull_rom"
+    layouts = {}
+    outputs = {}
+    for layout in ("fat", "lean"):
+        plan = build_stencil_plan(grid.shape, coords, method, layout=layout)
+        build = _best_of(
+            lambda layout=layout: build_stencil_plan(grid.shape, coords, method, layout=layout),
+            repeats=3,
+        )
+        execute = _best_of(lambda p=plan: execute_stencil_plan(flat, p), repeats=3)
+        outputs[layout] = execute_stencil_plan(flat, plan)
+        layouts[layout] = {
+            "plan_nbytes": plan.nbytes,
+            "bytes_per_point": plan.nbytes / grid.num_points,
+            "plan_build_seconds": build,
+            "execute_seconds_per_field": execute,
+        }
+
+    np.testing.assert_array_equal(outputs["lean"], outputs["fat"])
+    ratio = layouts["lean"]["plan_nbytes"] / layouts["fat"]["plan_nbytes"]
+
+    # analytic per-point model (tricubic): fat = 3*(taps*8) index parts +
+    # 3*(taps*8) weights; lean = 3*4 (int32 base) + 3*8 (float64 frac)
+    fat_per_point = 2 * 3 * 4 * 8
+    lean_per_point = 3 * (4 + 8)
+    memory_table = {
+        f"{m}^3": {
+            "points": m**3,
+            "fat_plan_bytes": fat_per_point * m**3,
+            "lean_plan_bytes": lean_per_point * m**3,
+            "transport_plan_pair_lean_bytes": 2 * (lean_per_point + 24 + 24) * m**3,
+        }
+        for m in (64, 128, 256)
+    }
+
+    header = f"{'layout':<8} {'plan bytes':>14} {'B/point':>9} {'build [s]':>10} {'execute [s]':>12}"
+    rows = [
+        f"tricubic stencil plan, fat vs lean layout at {n}^3 ({grid.num_points} points)",
+        header,
+        "-" * len(header),
+    ]
+    for layout, data in layouts.items():
+        rows.append(
+            f"{layout:<8} {data['plan_nbytes']:>14d} {data['bytes_per_point']:>9.1f} "
+            f"{data['plan_build_seconds']:>10.4f} {data['execute_seconds_per_field']:>12.4f}"
+        )
+    rows.append(f"lean / fat memory ratio: {ratio:.3f} (acceptance: <= 0.30)")
+    record_text("plan_memory", "\n".join(rows))
+    record_json(
+        "plan_memory",
+        {
+            "benchmark": "stencil-plan memory, fat vs lean layout",
+            "grid": [n, n, n],
+            "num_points": grid.num_points,
+            "method": method,
+            "layouts": layouts,
+            "lean_over_fat_memory_ratio": ratio,
+            "bitwise_identical": True,
+            "memory_model_tricubic": memory_table,
+        },
+    )
+
+    assert ratio <= 0.30, f"lean plan uses {ratio:.1%} of the fat layout's memory"

@@ -8,13 +8,16 @@ evaluation section (see DESIGN.md for the experiment index).  The harness
   calibrated performance model,
 * prints the paper's reference row next to the reproduced row, and
 * writes the formatted comparison to ``benchmarks/results/<name>.txt`` so
-  EXPERIMENTS.md can reference the artifacts.
+  EXPERIMENTS.md can reference the artifacts.  Machine-readable twins go
+  to ``benchmarks/results/<name>.json`` (the ``record_json`` fixture), so
+  the perf trajectory can be tracked across PRs without parsing tables.
 
 Run with ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -36,6 +39,23 @@ def record_text(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{'=' * 78}\n{name}\n{'=' * 78}\n{text}\n")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def record_json(results_dir):
+    """Write a machine-readable artifact into benchmarks/results.
+
+    The JSON twin of ``record_text``: one document per benchmark, stable
+    key order, so successive PRs can diff the perf trajectory directly.
+    """
+
+    def _write(name: str, payload: dict) -> Path:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"json artifact written to {path}")
         return path
 
     return _write

@@ -43,6 +43,12 @@ from repro.data.io import load_problem
 from repro.data.synthetic import synthetic_registration_problem
 from repro.parallel.machines import get_machine
 from repro.parallel.performance import RegistrationCostModel
+from repro.runtime import (
+    configure_plan_pool,
+    get_plan_pool,
+    resolve_workers,
+    set_default_workers,
+)
 from repro.spectral.backends import (
     BackendUnavailableError,
     available_backends,
@@ -109,6 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
             f"{', '.join(available_interp_backends())})"
         ),
     )
+    reg.add_argument(
+        "--plan-pool-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "memory budget of the shared execution-plan pool (default: "
+            "$REPRO_PLAN_POOL_BYTES or 512 MiB; 0 disables plan caching)"
+        ),
+    )
+    reg.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shared worker count for threaded kernels (default: $REPRO_WORKERS; "
+            "per-subsystem $REPRO_FFT_WORKERS / $REPRO_INTERP_WORKERS override it)"
+        ),
+    )
 
     scal = subparsers.add_parser("scaling", help="print paper-vs-model scaling tables")
     scal.add_argument("--table", choices=("I", "II", "III", "IV"), default=None)
@@ -142,6 +168,11 @@ def _run_register(args: argparse.Namespace) -> int:
         # resolve early (flag or environment) for a clean error message
         get_backend(args.fft_backend)
         get_interp_backend(args.interp_backend)
+        configure_plan_pool(args.plan_pool_bytes)  # None re-reads the env
+        if args.workers is not None:
+            set_default_workers(args.workers)
+        for subsystem in ("fft", "interp"):  # validate the worker env vars
+            resolve_workers(subsystem)
     except (BackendUnavailableError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -164,6 +195,13 @@ def _run_register(args: argparse.Namespace) -> int:
     )
     result = solver.run(template, reference, grid=grid)
     print(format_rows([result.summary()], title="Registration summary"))
+    if args.verbose:
+        stats = get_plan_pool().stats
+        print(
+            f"plan pool: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.evictions} evictions, {stats.current_bytes} bytes resident "
+            f"(peak {stats.peak_bytes})"
+        )
     if args.output:
         np.savez_compressed(
             args.output,

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.optim.gauss_newton import GaussNewtonKrylov, OptimizationResult, SolverOptions
 from repro.core.problem import RegistrationProblem
+from repro.runtime.plan_pool import PoolStats, get_plan_pool
 from repro.transport.deformation import DeformationMap
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
@@ -44,6 +45,7 @@ class ContinuationResult:
     final_beta: float
     steps: List[ContinuationStep]
     elapsed_seconds: float
+    plan_pool: Optional[PoolStats] = None
 
     @property
     def num_levels(self) -> int:
@@ -98,8 +100,16 @@ class BetaContinuation:
             raise ValueError("max_levels must be >= 1")
 
     def run(self, initial_velocity: Optional[np.ndarray] = None) -> ContinuationResult:
-        """Run the continuation and return the last accepted velocity."""
+        """Run the continuation and return the last accepted velocity.
+
+        Successive levels revisit velocities (each level warm-starts from
+        the previous optimum, whose transport plan the previous solve just
+        built, and the admissibility check transports the same velocity
+        again), so the shared plan pool turns those re-plans into warm
+        hits; the per-run delta is reported in the result.
+        """
         start = time.perf_counter()
+        pool_before = get_plan_pool().stats
         problem = self.problem
         steps: List[ContinuationStep] = []
 
@@ -143,9 +153,18 @@ class BetaContinuation:
                 break
             beta = max(beta * self.reduction, self.target_beta)
 
+        pool_delta = get_plan_pool().stats - pool_before
+        LOGGER.info(
+            "plan pool over %d continuation levels: %d hits, %d misses, %d evictions",
+            len(steps),
+            pool_delta.hits,
+            pool_delta.misses,
+            pool_delta.evictions,
+        )
         return ContinuationResult(
             velocity=accepted_velocity,
             final_beta=accepted_beta,
             steps=steps,
             elapsed_seconds=time.perf_counter() - start,
+            plan_pool=pool_delta,
         )

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.optim.gauss_newton import GaussNewtonKrylov, OptimizationResult, SolverOptions
 from repro.core.problem import RegistrationProblem
+from repro.runtime.plan_pool import PoolStats, get_plan_pool
 from repro.spectral.filters import prolong, restrict
 from repro.spectral.grid import Grid
 from repro.utils.logging import get_logger
@@ -47,6 +48,7 @@ class MultilevelResult:
     velocity: np.ndarray
     levels: List[MultilevelLevelRecord]
     elapsed_seconds: float
+    plan_pool: Optional[PoolStats] = None
 
     @property
     def fine_result(self) -> OptimizationResult:
@@ -149,8 +151,15 @@ class MultilevelRegistration:
 
     # ------------------------------------------------------------------ #
     def run(self, initial_velocity: Optional[np.ndarray] = None) -> MultilevelResult:
-        """Solve coarse-to-fine and return the fine-level velocity."""
+        """Solve coarse-to-fine and return the fine-level velocity.
+
+        Per-velocity transport plans flow through the shared plan pool:
+        each ``(grid, velocity)`` pair is planned at most once per level
+        (the line search and the subsequent ``linearize`` share warm plans)
+        and the per-run hit/miss delta is reported in the result.
+        """
         start = time.perf_counter()
+        pool_before = get_plan_pool().stats
         records: List[MultilevelLevelRecord] = []
         velocity = initial_velocity
         previous_grid: Optional[Grid] = None
@@ -179,8 +188,17 @@ class MultilevelRegistration:
             velocity = result.velocity
             previous_grid = grid
 
+        pool_delta = get_plan_pool().stats - pool_before
+        LOGGER.info(
+            "plan pool over %d levels: %d hits, %d misses, %d evictions",
+            len(records),
+            pool_delta.hits,
+            pool_delta.misses,
+            pool_delta.evictions,
+        )
         return MultilevelResult(
             velocity=velocity,
             levels=records,
             elapsed_seconds=time.perf_counter() - start,
+            plan_pool=pool_delta,
         )

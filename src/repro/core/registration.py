@@ -27,6 +27,7 @@ from repro.core.optim.gauss_newton import (
 from repro.core.optim.gradient_descent import GradientDescent
 from repro.core.problem import RegistrationProblem
 from repro.data.preprocessing import normalize_intensity, smooth_image
+from repro.runtime.plan_pool import PoolStats, get_plan_pool
 from repro.spectral.grid import Grid
 from repro.transport.deformation import DeformationMap
 from repro.utils.logging import get_logger
@@ -47,6 +48,7 @@ class RegistrationResult:
     relative_residual: float
     det_grad_stats: Dict[str, float]
     elapsed_seconds: float
+    plan_pool: Optional[PoolStats] = None
     problem: RegistrationProblem = field(repr=False, default=None)
 
     @property
@@ -87,6 +89,8 @@ class RegistrationResult:
                 if self.problem is not None
                 else "?"
             ),
+            "plan_pool_hits": self.plan_pool.hits if self.plan_pool is not None else 0,
+            "plan_pool_misses": self.plan_pool.misses if self.plan_pool is not None else 0,
         }
 
 
@@ -197,6 +201,7 @@ class RegistrationSolver:
     ) -> RegistrationResult:
         """Register *template* to *reference* and collect the diagnostics."""
         start = time.perf_counter()
+        pool_before = get_plan_pool().stats
         problem = self.build_problem(template, reference, grid)
 
         if self.optimizer == "gauss_newton":
@@ -243,6 +248,7 @@ class RegistrationSolver:
             ),
             det_grad_stats=det_stats,
             elapsed_seconds=elapsed,
+            plan_pool=get_plan_pool().stats - pool_before,
             problem=problem,
         )
 

@@ -18,38 +18,34 @@ departure point ``X``, which may fall into the subdomain of a different rank
 The result is numerically identical to the serial
 :class:`repro.transport.interpolation.PeriodicInterpolator` with the
 ``"catmull_rom"`` kernel, which is what the test-suite asserts.
+
+The per-owner stencil plans (the 4x4x4 base indices and weights of the
+points each owner received) depend only on the departure points, so they
+are built **once per plan**, right next to the ``alltoallv`` routing
+tables, and fetched through the shared plan pool
+(:mod:`repro.runtime.plan_pool`) — a second plan for the same velocity
+(e.g. the backward characteristics of a re-created solver) is a warm hit.
+Every ``interpolate`` call then only exchanges ghosts and runs the cached
+stencils, giving the distributed path the same per-velocity amortization
+as the serial steppers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.parallel.comm import SimulatedCommunicator
 from repro.parallel.ghost import exchange_ghost_layers
 from repro.parallel.pencil import PencilDecomposition
+from repro.runtime.plan_pool import array_fingerprint, get_plan_pool
 from repro.spectral.grid import Grid
-from repro.transport.kernels import build_stencil_plan, execute_stencil_plan
+from repro.transport.kernels import StencilPlanLike, build_stencil_plan, execute_stencil_plan
 
 #: Halo width required by the 4-point (tricubic) stencil.
 GHOST_WIDTH = 2
-
-
-def _local_catmull_rom(extended_block: np.ndarray, local_coords: np.ndarray) -> np.ndarray:
-    """Tricubic convolution on an already-ghosted block (no wrapping needed).
-
-    ``local_coords`` are fractional indices **into the extended block**; the
-    caller guarantees that the full 4x4x4 stencil lies inside the block.
-    This is the same registered stencil kernel the serial backends evaluate
-    (:mod:`repro.transport.kernels`), run in its non-periodic form.
-    """
-    plan = build_stencil_plan(
-        extended_block.shape, local_coords, "catmull_rom", periodic=False
-    )
-    flat = np.ascontiguousarray(extended_block, dtype=np.float64).reshape(1, -1)
-    return execute_stencil_plan(flat, plan)[0]
 
 
 @dataclass
@@ -113,6 +109,41 @@ class ScatterInterpolationPlan:
         received = self.comm.alltoallv(send, category="interp_scatter")
         self._points_by_owner = received
 
+        # planning phase: build each owner's local stencil plans once, next
+        # to the routing tables, through the shared plan pool (content keyed,
+        # so a re-created plan for the same departure points is a warm hit)
+        self.stencil_builds = 0
+        pool = get_plan_pool()
+        self._stencil_plans: List[List[Optional[StencilPlanLike]]] = [
+            [None] * deco.num_tasks for _ in range(deco.num_tasks)
+        ]
+        for owner in range(deco.num_tasks):
+            slices = deco.local_slices(owner, (0, 1))
+            offsets = np.array([s.start or 0 for s in slices], dtype=np.float64)[:, None]
+            extended_shape = tuple(
+                n + 2 * GHOST_WIDTH for n in deco.local_shape(owner, (0, 1))
+            )
+            for requester in range(deco.num_tasks):
+                q = np.asarray(self._points_by_owner[owner][requester])
+                if q.size == 0:
+                    continue
+                # the owner test guarantees floor(q) lies in the owner's index
+                # range, so the shift into the ghost-extended block needs no
+                # periodic unwrapping
+                local = q - offsets + GHOST_WIDTH
+
+                def build(local=local, shape=extended_shape):
+                    self.stencil_builds += 1
+                    return build_stencil_plan(shape, local, "catmull_rom", periodic=False)
+
+                key = (
+                    "scatter-stencil",
+                    "catmull_rom",
+                    extended_shape,
+                    array_fingerprint(local),
+                )
+                self._stencil_plans[owner][requester] = pool.get(key, build)
+
     # ------------------------------------------------------------------ #
     @property
     def num_tasks(self) -> int:
@@ -148,25 +179,20 @@ class ScatterInterpolationPlan:
         # line 1 of Algorithm 1: synchronize the ghost layers
         extended = exchange_ghost_layers(blocks, deco, GHOST_WIDTH, self.comm)
 
-        # line 3: every owner interpolates the points it received
+        # line 3: every owner runs its cached (non-periodic) stencil plans —
+        # the same registered kernel the serial backends evaluate, planned
+        # once in __post_init__ instead of per call
         results_back: List[List[np.ndarray]] = [
             [np.empty(0) for _ in range(deco.num_tasks)] for _ in range(deco.num_tasks)
         ]
-        shape = np.asarray(self.grid.shape, dtype=np.float64)[:, None]
         for owner in range(deco.num_tasks):
-            slices = deco.local_slices(owner, (0, 1))
-            offsets = np.array([s.start or 0 for s in slices], dtype=np.float64)[:, None]
-            block = extended[owner]
+            flat_block = np.ascontiguousarray(extended[owner], dtype=np.float64).reshape(1, -1)
             for requester in range(deco.num_tasks):
-                q = np.asarray(self._points_by_owner[owner][requester])
-                if q.size == 0:
+                plan = self._stencil_plans[owner][requester]
+                if plan is None:
                     results_back[owner][requester] = np.empty(0)
                     continue
-                # the owner test guarantees floor(q) lies in the owner's index
-                # range, so the shift into the ghost-extended block needs no
-                # periodic unwrapping
-                local = q - offsets + GHOST_WIDTH
-                results_back[owner][requester] = _local_catmull_rom(block, local)
+                results_back[owner][requester] = execute_stencil_plan(flat_block, plan)[0]
 
         # line 4: send the values back to the ranks that requested them
         returned = self.comm.alltoallv(results_back, category="interp_return")

@@ -1,0 +1,303 @@
+"""LRU plan pool with byte-accurate memory accounting.
+
+Semi-Lagrangian gather plans are the largest per-velocity data structures of
+the solver (tens to hundreds of MB at production grids), and three call
+sites used to rebuild them redundantly: the line search re-plans the
+velocity the next ``linearize`` call plans again, ``beta``-continuation
+warm-starts each level from a velocity whose plan was just built, and the
+distributed scatter path re-planned on every ``interpolate`` call.  This
+module centralizes the lifecycle: a process-wide LRU cache keyed by
+content (grid, velocity fingerprint, kernel, backend), with
+
+* **byte-accurate accounting** — every entry reports its ``nbytes``
+  (the exact array payload), the pool tracks the running total, and
+* a **configurable budget** — ``REPRO_PLAN_POOL_BYTES`` or the CLI flag
+  ``--plan-pool-bytes``; least-recently-used entries are evicted when an
+  insert exceeds it, entries larger than the whole budget are handed to
+  the caller but never stored, and a budget of ``0`` disables caching
+  entirely (every lookup builds), plus
+* **hit/miss/eviction statistics** so solvers, tests and benchmarks can
+  observe warm-plan reuse (:class:`PoolStats` supports subtraction for
+  per-run deltas).
+
+Keys are content fingerprints (:func:`array_fingerprint`), never object
+identities, so two solves that revisit the same velocity on the same grid
+share one plan no matter which solver instance asks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+#: Environment variable with the pool budget in bytes.
+POOL_BYTES_ENV_VAR = "REPRO_PLAN_POOL_BYTES"
+
+#: Default budget (512 MiB): comfortably holds every plan of a laptop-scale
+#: run and several warm velocities at 64^3; production 128^3+ runs should
+#: size the budget explicitly (see the README's memory table).
+DEFAULT_POOL_BYTES = 512 * 2**20
+
+
+def _env_budget() -> int:
+    """Pool budget from ``REPRO_PLAN_POOL_BYTES`` (empty/unset -> default)."""
+    value = os.environ.get(POOL_BYTES_ENV_VAR, "").strip()
+    if not value:
+        return DEFAULT_POOL_BYTES
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"{POOL_BYTES_ENV_VAR} must be an integer byte count, got {value!r}"
+        ) from exc
+
+
+def array_fingerprint(*arrays: np.ndarray) -> str:
+    """Content fingerprint (BLAKE2b) of one or more arrays.
+
+    Hashes dtype, shape and raw bytes, so any numerical change — including
+    sign flips like the backward stepper's ``-v`` — yields a different key.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        # hash the array's buffer directly — tobytes() would copy the whole
+        # payload (~50 MB per 128^3 velocity) on every pool lookup
+        digest.update(array.data)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Snapshot of one pool's statistics (supports ``-`` for per-run deltas).
+
+    ``hits``/``misses``/``evictions``/``oversize_rejections`` are cumulative
+    *counters*; ``current_bytes``/``peak_bytes``/``entries`` are point-in-time
+    *gauges* of the whole pool.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    oversize_rejections: int = 0
+    current_bytes: int = 0
+    peak_bytes: int = 0
+    entries: int = 0
+
+    def __sub__(self, other: "PoolStats") -> "PoolStats":
+        """Per-run delta: counters are differenced, gauges are NOT.
+
+        The gauge fields (``current_bytes``, ``peak_bytes``, ``entries``)
+        describe the pool's state at the *newer* snapshot — they reflect the
+        pool's whole lifetime, not just the run being measured.
+        """
+        return PoolStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+            oversize_rejections=self.oversize_rejections - other.oversize_rejections,
+            current_bytes=self.current_bytes,
+            peak_bytes=self.peak_bytes,
+            entries=self.entries,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "oversize_rejections": self.oversize_rejections,
+            "current_bytes": self.current_bytes,
+            "peak_bytes": self.peak_bytes,
+            "entries": self.entries,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+
+
+class PlanPool:
+    """LRU cache of execution plans with a byte budget.
+
+    Parameters
+    ----------
+    max_bytes:
+        Storage budget.  ``None`` resolves ``REPRO_PLAN_POOL_BYTES`` (falling
+        back to :data:`DEFAULT_POOL_BYTES`); ``0`` disables storage (every
+        :meth:`get` builds and returns without caching).
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is None:
+            max_bytes = _env_budget()
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._oversize = 0
+        self._current_bytes = 0
+        self._peak_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # core operations
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        key: Hashable,
+        builder: Callable[[], Any],
+        nbytes: Optional[Callable[[Any], int]] = None,
+    ) -> Any:
+        """Return the cached value for *key*, building (and storing) on miss.
+
+        Parameters
+        ----------
+        key:
+            Hashable content key (include every input the plan depends on).
+        builder:
+            Zero-argument callable producing the plan; runs outside the pool
+            lock (plan builds are expensive).
+        nbytes:
+            Size accessor; defaults to the value's ``nbytes`` attribute.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry.value
+            self._misses += 1
+        value = builder()
+        size = int(nbytes(value) if nbytes is not None else value.nbytes)
+        self._store(key, value, size)
+        return value
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value without recording a hit/miss (tests)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else entry.value
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _evict_to_fit(self) -> None:
+        """Drop least-recently-used entries until the budget holds (locked)."""
+        while self._current_bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._current_bytes -= evicted.nbytes
+            self._evictions += 1
+
+    def _store(self, key: Hashable, value: Any, size: int) -> None:
+        with self._lock:
+            if size > self.max_bytes:
+                # would evict the whole pool and still not fit: hand the
+                # plan to the caller but keep the pool contents intact
+                self._oversize += 1
+                return
+            if key in self._entries:  # concurrent build of the same key
+                return
+            self._entries[key] = _Entry(value, size)
+            self._current_bytes += size
+            self._evict_to_fit()
+            self._peak_bytes = max(self._peak_bytes, self._current_bytes)
+
+    def set_max_bytes(self, max_bytes: int) -> None:
+        """Change the budget, evicting LRU entries if it shrinks below use."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        with self._lock:
+            self.max_bytes = int(max_bytes)
+            self._evict_to_fit()
+
+    # ------------------------------------------------------------------ #
+    # maintenance / introspection
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept; see :meth:`reset`)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    def reset(self) -> None:
+        """Drop every entry and zero all statistics."""
+        with self._lock:
+            self.clear()
+            self._hits = self._misses = self._evictions = self._oversize = 0
+            self._peak_bytes = 0
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Current keys in LRU order (least recently used first)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._current_bytes
+
+    @property
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                oversize_rejections=self._oversize,
+                current_bytes=self._current_bytes,
+                peak_bytes=self._peak_bytes,
+                entries=len(self._entries),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# process-wide pool
+# --------------------------------------------------------------------------- #
+_global_pool: Optional[PlanPool] = None
+_global_lock = threading.Lock()
+
+
+def get_plan_pool() -> PlanPool:
+    """The shared process-wide plan pool (created lazily from the env)."""
+    global _global_pool
+    with _global_lock:
+        if _global_pool is None:
+            _global_pool = PlanPool()
+        return _global_pool
+
+
+def configure_plan_pool(max_bytes: Optional[int]) -> PlanPool:
+    """Set the budget of the shared pool (``None`` re-reads the environment).
+
+    Shrinking below the current contents evicts least-recently-used entries
+    immediately, so the accounting stays exact after a reconfiguration.
+    """
+    pool = get_plan_pool()
+    pool.set_max_bytes(_env_budget() if max_bytes is None else max_bytes)
+    return pool
+
+
+def reset_plan_pool() -> PlanPool:
+    """Clear the shared pool and zero its statistics (tests, benchmarks)."""
+    pool = get_plan_pool()
+    pool.reset()
+    return pool

@@ -1,0 +1,140 @@
+"""Unified worker-pool manager for every threaded kernel.
+
+PR 1 introduced ``REPRO_FFT_WORKERS`` for the threaded FFT engines; the
+interpolation subsystem of PR 2 stayed single-threaded and every registry
+managed its own threading ad hoc.  This module turns the pattern into one
+process-wide resource policy:
+
+* ``REPRO_WORKERS`` sets the shared default worker count of *every*
+  subsystem (the paper's "one MPI task per core" analogue for the threaded
+  single-node path).
+* ``REPRO_FFT_WORKERS`` / ``REPRO_INTERP_WORKERS`` override it per
+  subsystem, exactly as before (the FFT variable keeps its PR-1 semantics).
+* :func:`set_default_workers` is the programmatic/CLI (``--workers``)
+  equivalent of ``REPRO_WORKERS``; explicit per-call arguments (e.g.
+  ``ScipyFFTBackend(workers=4)``) still win over everything.
+
+Resolution precedence, first match wins::
+
+    explicit argument > per-subsystem env > set_default_workers()
+        > REPRO_WORKERS > subsystem default
+
+The subsystem defaults differ deliberately: FFT engines thread inside one
+C call and default to all cores (unchanged from PR 1); the stencil executor
+threads at the Python level over point chunks and defaults to ``1`` so the
+serial path stays bit-for-bit the PR-2 implementation unless the user opts
+in.  Thread pools are shared per size (:func:`get_executor`), so the FFT
+and interpolation subsystems never oversubscribe the machine with separate
+pools of the same width.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+#: Environment variable with the shared default worker count of every
+#: subsystem (overridden per subsystem by the variables below).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Per-subsystem override for the threaded FFT backends (PR-1 semantics).
+FFT_WORKERS_ENV_VAR = "REPRO_FFT_WORKERS"
+
+#: Per-subsystem override for the thread-pooled stencil executor.
+INTERP_WORKERS_ENV_VAR = "REPRO_INTERP_WORKERS"
+
+
+def _all_cores() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _one() -> int:
+    return 1
+
+
+@dataclass(frozen=True)
+class SubsystemPolicy:
+    """Environment variable and fallback default of one subsystem."""
+
+    env_var: str
+    default: Callable[[], int]
+
+
+#: Known subsystems; future engines (GPU streams, distributed launchers)
+#: register here by adding a policy.
+SUBSYSTEMS: Dict[str, SubsystemPolicy] = {
+    "fft": SubsystemPolicy(FFT_WORKERS_ENV_VAR, _all_cores),
+    "interp": SubsystemPolicy(INTERP_WORKERS_ENV_VAR, _one),
+}
+
+_default_workers: Optional[int] = None
+_executors: Dict[int, ThreadPoolExecutor] = {}
+_lock = threading.Lock()
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set (or clear, with ``None``) the process-wide default worker count.
+
+    The programmatic twin of ``REPRO_WORKERS`` used by the CLI ``--workers``
+    flag; per-subsystem environment variables still override it.
+    """
+    global _default_workers
+    if workers is None:
+        _default_workers = None
+        return
+    _default_workers = max(1, int(workers))
+
+
+def _env_int(name: str) -> Optional[int]:
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return None
+    try:
+        return max(1, int(value))
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer worker count, got {value!r}") from exc
+
+
+def resolve_workers(subsystem: str, explicit: Optional[int] = None) -> int:
+    """Resolve the worker count of *subsystem* under the unified policy."""
+    try:
+        policy = SUBSYSTEMS[subsystem]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown worker subsystem {subsystem!r}; known: {tuple(sorted(SUBSYSTEMS))}"
+        ) from exc
+    if explicit is not None:
+        return max(1, int(explicit))
+    for resolved in (_env_int(policy.env_var), _default_workers, _env_int(WORKERS_ENV_VAR)):
+        if resolved is not None:
+            return resolved
+    return policy.default()
+
+
+def get_executor(workers: int) -> ThreadPoolExecutor:
+    """Shared :class:`ThreadPoolExecutor` of the given width (process-wide).
+
+    Pools are created lazily and kept for the process lifetime, so repeated
+    kernel launches never pay thread start-up costs (the "pooled context"
+    of the FFT backends, generalized).
+    """
+    workers = max(1, int(workers))
+    with _lock:
+        executor = _executors.get(workers)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-runtime-{workers}"
+            )
+            _executors[workers] = executor
+        return executor
+
+
+def shutdown_executors() -> None:
+    """Shut down every shared executor (used by tests)."""
+    with _lock:
+        for executor in _executors.values():
+            executor.shutdown(wait=True)
+        _executors.clear()

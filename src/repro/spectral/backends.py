@@ -38,11 +38,16 @@ from typing import Dict, Protocol, Sequence, Tuple, Type, runtime_checkable
 
 import numpy as np
 
+from repro.runtime.workers import FFT_WORKERS_ENV_VAR
+from repro.runtime.workers import resolve_workers as _resolve_runtime_workers
+
 #: Environment variable selecting the default backend.
 BACKEND_ENV_VAR = "REPRO_FFT_BACKEND"
 
-#: Environment variable overriding the worker-pool size of threaded backends.
-WORKERS_ENV_VAR = "REPRO_FFT_WORKERS"
+#: Environment variable overriding the worker-pool size of threaded backends
+#: (the per-subsystem override of the unified ``REPRO_WORKERS`` policy, see
+#: :mod:`repro.runtime.workers`).
+WORKERS_ENV_VAR = FFT_WORKERS_ENV_VAR
 
 DEFAULT_BACKEND = "numpy"
 
@@ -82,13 +87,13 @@ class FFTBackend(Protocol):
 
 
 def _resolve_workers(workers: int | None) -> int:
-    """Worker-pool size: explicit arg > env var > all available cores."""
-    if workers is not None:
-        return max(1, int(workers))
-    env = os.environ.get(WORKERS_ENV_VAR)
-    if env:
-        return max(1, int(env))
-    return max(1, os.cpu_count() or 1)
+    """Worker-pool size under the unified runtime policy.
+
+    Explicit argument > ``REPRO_FFT_WORKERS`` > the shared runtime default
+    (``--workers`` / ``REPRO_WORKERS``) > all available cores — see
+    :func:`repro.runtime.workers.resolve_workers`.
+    """
+    return _resolve_runtime_workers("fft", workers)
 
 
 class NumpyFFTBackend:

@@ -42,22 +42,39 @@ Backends only gather; interpolation *counting* stays in
 :class:`repro.transport.interpolation.PeriodicInterpolator`, which
 guarantees exact counter parity across backends — the paper's ``4*nt``
 sweep verification is backend independent by construction.
+
+Since PR 3 the cached stencil defaults to the **memory-lean layout**
+(:class:`LeanStencilPlan`: int32 base indices + fractional offsets, 36
+bytes per point instead of 192) and the chunked executor is thread-pooled
+through the shared runtime (:mod:`repro.runtime.workers`,
+``REPRO_INTERP_WORKERS`` / ``REPRO_WORKERS``); both the layout and the
+worker count leave every gather bitwise unchanged.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Protocol, Tuple, Type, runtime_checkable
+from typing import Callable, Dict, Optional, Protocol, Tuple, Type, Union, runtime_checkable
 
 import numpy as np
 
+from repro.runtime.workers import get_executor, resolve_workers
 from repro.spectral.backends import BackendUnavailableError
 
 #: Environment variable selecting the default interpolation backend.
 BACKEND_ENV_VAR = "REPRO_INTERP_BACKEND"
 
 DEFAULT_BACKEND = "scipy"
+
+#: Environment variable selecting the stencil-plan storage layout
+#: (``"lean"`` — the memory-lean default — or ``"fat"``).
+PLAN_LAYOUT_ENV_VAR = "REPRO_PLAN_LAYOUT"
+
+DEFAULT_PLAN_LAYOUT = "lean"
+
+#: Known stencil-plan layouts (see :func:`build_stencil_plan`).
+PLAN_LAYOUTS = ("lean", "fat")
 
 #: Interpolation kernels every backend understands.
 SUPPORTED_METHODS = ("cubic_bspline", "catmull_rom", "linear")
@@ -151,13 +168,18 @@ def periodic_bspline_prefilter(fields: np.ndarray) -> np.ndarray:
 # --------------------------------------------------------------------------- #
 @dataclass
 class StencilPlan:
-    """Precomputed base indices and per-axis weights of a fixed point set.
+    """Fully materialized ("fat") stencil: flat index parts + axis weights.
 
     ``index_parts[d]`` has shape ``(taps, M)`` and already contains the
     *flattened* index contribution of axis ``d`` (wrapped index times the
     axis stride), so the flat gather index of tap ``(a, b, c)`` is simply
     ``index_parts[0][a] + index_parts[1][b] + index_parts[2][c]``.
     ``weights[d]`` holds the matching per-axis kernel weights.
+
+    At ``2 * taps`` stored values per axis (12 index parts + 12 weights)
+    this weighs 24 doubles per point for the tricubic kernels (~400 MB per
+    plan at 128^3); the memory-lean :class:`LeanStencilPlan` is the default
+    layout since PR 3.
     """
 
     method: str
@@ -169,13 +191,91 @@ class StencilPlan:
     def num_points(self) -> int:
         return self.index_parts[0].shape[1]
 
+    @property
+    def nbytes(self) -> int:
+        """Exact array payload in bytes (plan-pool accounting)."""
+        return sum(part.nbytes for part in self.index_parts) + sum(
+            w.nbytes for w in self.weights
+        )
+
+    def chunk_stencil(self, lo: int, hi: int):
+        """Index-part / weight views of the points ``[lo, hi)``."""
+        return (
+            tuple(part[:, lo:hi] for part in self.index_parts),
+            tuple(w[:, lo:hi] for w in self.weights),
+        )
+
+
+@dataclass
+class LeanStencilPlan:
+    """Memory-lean stencil: int32 base indices + float64 fractional offsets.
+
+    Stores only what the tensor-product stencil is *derived from* — the
+    per-axis base grid index (int32) and the fractional coordinate
+    (float64), 36 bytes per point instead of the 192 bytes of the
+    materialized :class:`StencilPlan` (a ~5x cut; ~75 MB instead of ~400 MB
+    at 128^3).  The executor re-derives each chunk's index parts and axis
+    weights inside its cache-blocked loop (:meth:`chunk_stencil`), applying
+    bit-for-bit the same arithmetic as the fat build, so lean and fat plans
+    produce bitwise-identical gathers; the per-chunk rebuild is ``O(3
+    taps)`` work per point against the ``O(taps^3)`` gather it feeds, and
+    its operands stay L1/L2-resident.
+    """
+
+    method: str
+    taps: int
+    shape: Tuple[int, int, int]
+    periodic: bool
+    base: np.ndarray
+    frac: np.ndarray
+
+    @property
+    def num_points(self) -> int:
+        return self.base.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Exact array payload in bytes (plan-pool accounting)."""
+        return self.base.nbytes + self.frac.nbytes
+
+    def chunk_stencil(self, lo: int, hi: int):
+        """Materialize index parts and weights of the points ``[lo, hi)``.
+
+        Exactly the arithmetic of the fat build in
+        :func:`build_stencil_plan`, applied to one chunk.
+        """
+        weight_fn, lead = _METHOD_STENCILS[self.method]
+        strides = (self.shape[1] * self.shape[2], self.shape[2], 1)
+        index_parts = []
+        weights = []
+        for d in range(3):
+            base = self.base[d, lo:hi].astype(np.intp)
+            w = np.stack(weight_fn(self.frac[d, lo:hi]), axis=0)
+            offsets = [base + (offset + lead) for offset in range(self.taps)]
+            if self.periodic:
+                offsets = [idx % self.shape[d] for idx in offsets]
+            index_parts.append(np.stack(offsets, axis=0) * strides[d])
+            weights.append(w)
+        return tuple(index_parts), tuple(weights)
+
+
+#: Either stencil-plan layout; both execute through the same chunked loop.
+StencilPlanLike = Union[StencilPlan, LeanStencilPlan]
+
+
+def default_plan_layout() -> str:
+    """Layout selected by ``REPRO_PLAN_LAYOUT`` (``"lean"`` by default)."""
+    layout = os.environ.get(PLAN_LAYOUT_ENV_VAR, DEFAULT_PLAN_LAYOUT).strip().lower()
+    return layout or DEFAULT_PLAN_LAYOUT
+
 
 def build_stencil_plan(
     shape: Tuple[int, int, int],
     coordinates: np.ndarray,
     method: str,
     periodic: bool = True,
-) -> StencilPlan:
+    layout: Optional[str] = None,
+) -> StencilPlanLike:
     """Precompute the gather stencil for fractional index *coordinates*.
 
     Parameters
@@ -189,10 +289,31 @@ def build_stencil_plan(
         the array (the ghosted blocks of :mod:`repro.parallel.scatter`).
     method:
         One of :data:`SUPPORTED_METHODS`.
+    layout:
+        ``"lean"`` (int32 base + fractional offsets, the default),
+        ``"fat"`` (materialized index parts and weights), or ``None`` for
+        the ``REPRO_PLAN_LAYOUT`` environment default.  Both layouts gather
+        bitwise identically.
     """
+    if layout is None:
+        layout = default_plan_layout()
+    if layout not in PLAN_LAYOUTS:
+        raise ValueError(
+            f"unknown stencil-plan layout {layout!r}; expected one of {PLAN_LAYOUTS}"
+        )
     weight_fn, lead = _METHOD_STENCILS[method]
     base = np.floor(coordinates).astype(np.intp)
     frac = coordinates - base
+    if layout == "lean" and max(shape) <= np.iinfo(np.int32).max:
+        taps = len(weight_fn(np.zeros(1)))
+        return LeanStencilPlan(
+            method=method,
+            taps=taps,
+            shape=tuple(int(n) for n in shape),
+            periodic=periodic,
+            base=base.astype(np.int32),
+            frac=np.ascontiguousarray(frac),
+        )
     strides = (shape[1] * shape[2], shape[2], 1)
     index_parts = []
     weights = []
@@ -221,8 +342,46 @@ def _as_flat_float64(fields: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(fields.reshape(fields.shape[0], -1), dtype=np.float64)
 
 
+def _execute_stencil_chunk(
+    flat_fields: np.ndarray, plan: StencilPlanLike, lo: int, hi: int, out: np.ndarray
+) -> None:
+    """Run the tap loop of one point chunk, accumulating into ``out[:, lo:hi]``.
+
+    All scratch arrays of the chunk stay in cache while the tap loop runs;
+    chunks write disjoint output slices, so any number of chunks can execute
+    concurrently (and in any order) with bitwise-deterministic results.
+    """
+    (i0, i1, i2), (w0, w1, w2) = plan.chunk_stencil(lo, hi)
+    taps = plan.taps
+    num_fields = flat_fields.shape[0]
+    m = hi - lo
+    ib = np.empty(m, dtype=np.intp)
+    gi = np.empty(m, dtype=np.intp)
+    wb = np.empty(m)
+    wt = np.empty(m)
+    gb = np.empty(m)
+    tb = np.empty(m)
+    acc = out[:, lo:hi]
+    for a in range(taps):
+        ia = i0[a]
+        wa = w0[a]
+        for b in range(taps):
+            np.add(ia, i1[b], out=ib)
+            np.multiply(wa, w1[b], out=wb)
+            for c in range(taps):
+                np.add(ib, i2[c], out=gi)
+                np.multiply(wb, w2[c], out=wt)
+                for f in range(num_fields):
+                    np.take(flat_fields[f], gi, out=gb)
+                    np.multiply(wt, gb, out=tb)
+                    acc[f] += tb
+
+
 def execute_stencil_plan(
-    flat_fields: np.ndarray, plan: StencilPlan, chunk: int = STENCIL_CHUNK
+    flat_fields: np.ndarray,
+    plan: StencilPlanLike,
+    chunk: int = STENCIL_CHUNK,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Gather a ``(B, num_grid_points)`` stack through a stencil plan.
 
@@ -230,38 +389,32 @@ def execute_stencil_plan(
     cache while the tap loop runs, so each batched gather streams the plan
     arrays exactly once and reads the field with the locality of the
     (grid-ordered) departure points.  One index computation serves every
-    field of the batch — the batching win of ``interpolate_many``.
+    field of the batch — the batching win of ``interpolate_many``.  Lean
+    plans re-derive each chunk's index parts and weights here, with the fat
+    build's exact arithmetic, so both layouts gather bitwise identically.
+
+    The chunks are embarrassingly parallel (disjoint output slices) and are
+    dispatched to the shared runtime thread pool when *workers* — resolved
+    through :func:`repro.runtime.workers.resolve_workers` under the
+    ``REPRO_INTERP_WORKERS`` / ``REPRO_WORKERS`` policy — exceeds one.  The
+    result is bitwise independent of the worker count.
     """
-    i0, i1, i2 = plan.index_parts
-    w0, w1, w2 = plan.weights
-    taps = plan.taps
     num_fields, num_points = flat_fields.shape[0], plan.num_points
     out = np.zeros((num_fields, num_points))
-    pair_idx = np.empty(chunk, dtype=np.intp)
-    tap_idx = np.empty(chunk, dtype=np.intp)
-    pair_w = np.empty(chunk)
-    tap_w = np.empty(chunk)
-    gathered = np.empty(chunk)
-    term = np.empty(chunk)
-    for lo in range(0, num_points, chunk):
-        hi = min(lo + chunk, num_points)
-        m = hi - lo
-        ib, gi = pair_idx[:m], tap_idx[:m]
-        wb, wt, gb, tb = pair_w[:m], tap_w[:m], gathered[:m], term[:m]
-        acc = out[:, lo:hi]
-        for a in range(taps):
-            ia = i0[a, lo:hi]
-            wa = w0[a, lo:hi]
-            for b in range(taps):
-                np.add(ia, i1[b, lo:hi], out=ib)
-                np.multiply(wa, w1[b, lo:hi], out=wb)
-                for c in range(taps):
-                    np.add(ib, i2[c, lo:hi], out=gi)
-                    np.multiply(wb, w2[c, lo:hi], out=wt)
-                    for f in range(num_fields):
-                        np.take(flat_fields[f], gi, out=gb)
-                        np.multiply(wt, gb, out=tb)
-                        acc[f] += tb
+    spans = [(lo, min(lo + chunk, num_points)) for lo in range(0, num_points, chunk)]
+    if workers is None:
+        workers = resolve_workers("interp")
+    if workers > 1 and len(spans) > 1:
+        executor = get_executor(workers)
+        list(
+            executor.map(
+                lambda span: _execute_stencil_chunk(flat_fields, plan, span[0], span[1], out),
+                spans,
+            )
+        )
+    else:
+        for lo, hi in spans:
+            _execute_stencil_chunk(flat_fields, plan, lo, hi, out)
     return out
 
 
@@ -284,7 +437,7 @@ class GatherPlan:
     grid_shape: Tuple[int, int, int]
     output_shape: Tuple[int, ...]
     coordinates: np.ndarray
-    payload: Optional[StencilPlan]
+    payload: Optional[StencilPlanLike]
 
     @property
     def num_points(self) -> int:
@@ -294,6 +447,12 @@ class GatherPlan:
     def is_cached(self) -> bool:
         """True when the stencil (indices + weights) is precomputed."""
         return self.payload is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Exact array payload in bytes (plan-pool accounting)."""
+        payload_bytes = self.payload.nbytes if self.payload is not None else 0
+        return self.coordinates.nbytes + payload_bytes
 
 
 # --------------------------------------------------------------------------- #
@@ -316,7 +475,7 @@ class InterpolationBackend(Protocol):
 
     def build_plan(
         self, grid_shape: Tuple[int, int, int], coordinates: np.ndarray, method: str
-    ) -> Optional[StencilPlan]:
+    ) -> Optional[StencilPlanLike]:
         """Precompute the reusable stencil payload (or ``None``)."""
         ...
 
@@ -324,7 +483,7 @@ class InterpolationBackend(Protocol):
         self,
         fields: np.ndarray,
         coordinates: np.ndarray,
-        payload: Optional[StencilPlan],
+        payload: Optional[StencilPlanLike],
         method: str,
     ) -> np.ndarray:
         """Interpolate a ``(B, N1, N2, N3)`` stack; returns ``(B, M)``."""
@@ -366,7 +525,7 @@ class ScipyInterpolationBackend:
 
     def build_plan(
         self, grid_shape: Tuple[int, int, int], coordinates: np.ndarray, method: str
-    ) -> Optional[StencilPlan]:
+    ) -> Optional[StencilPlanLike]:
         if method == "catmull_rom":
             return build_stencil_plan(grid_shape, coordinates, method)
         return None
@@ -375,7 +534,7 @@ class ScipyInterpolationBackend:
         self,
         fields: np.ndarray,
         coordinates: np.ndarray,
-        payload: Optional[StencilPlan],
+        payload: Optional[StencilPlanLike],
         method: str,
     ) -> np.ndarray:
         if method == "catmull_rom":
@@ -413,7 +572,7 @@ class NumpyInterpolationBackend:
 
     def build_plan(
         self, grid_shape: Tuple[int, int, int], coordinates: np.ndarray, method: str
-    ) -> Optional[StencilPlan]:
+    ) -> Optional[StencilPlanLike]:
         return build_stencil_plan(grid_shape, coordinates, method)
 
     def _prepare(self, fields: np.ndarray, method: str) -> np.ndarray:
@@ -425,7 +584,7 @@ class NumpyInterpolationBackend:
         self,
         fields: np.ndarray,
         coordinates: np.ndarray,
-        payload: Optional[StencilPlan],
+        payload: Optional[StencilPlanLike],
         method: str,
     ) -> np.ndarray:
         plan = payload or build_stencil_plan(fields.shape[-3:], coordinates, method)
@@ -480,15 +639,23 @@ class NumbaInterpolationBackend(NumpyInterpolationBackend):
         self,
         fields: np.ndarray,
         coordinates: np.ndarray,
-        payload: Optional[StencilPlan],
+        payload: Optional[StencilPlanLike],
         method: str,
     ) -> np.ndarray:
         plan = payload or build_stencil_plan(fields.shape[-3:], coordinates, method)
         flat = self._prepare(fields, method)
         out = np.zeros((flat.shape[0], plan.num_points))
-        i0, i1, i2 = plan.index_parts
-        w0, w1, w2 = plan.weights
-        self._kernel(flat, i0, i1, i2, w0, w1, w2, out)
+        if isinstance(plan, LeanStencilPlan):
+            # memory-lean path: materialize one cache-sized chunk at a time
+            # and hand it to the JIT kernel (disjoint output slices)
+            for lo in range(0, plan.num_points, STENCIL_CHUNK):
+                hi = min(lo + STENCIL_CHUNK, plan.num_points)
+                (i0, i1, i2), (w0, w1, w2) = plan.chunk_stencil(lo, hi)
+                self._kernel(flat, i0, i1, i2, w0, w1, w2, out[:, lo:hi])
+        else:
+            i0, i1, i2 = plan.index_parts
+            w0, w1, w2 = plan.weights
+            self._kernel(flat, i0, i1, i2, w0, w1, w2, out)
         return out
 
 

@@ -32,15 +32,24 @@ together (the transported quantity and its source, the three velocity
 components of the RK2 trace) move through one batched gather pass.  The
 same machinery handles the adjoint equations after the time reversal
 ``tau = 1 - t`` by passing ``-v``.
+
+Since PR 3 the departure points and their gather plan live in the shared
+**plan pool** (:mod:`repro.runtime.plan_pool`), keyed by the *content* of
+``(grid, velocity, dt, kernel, backend)``: any stepper built for a velocity
+the pool has already planned — the line-search trial that the next
+``linearize`` revisits, a ``beta``-continuation warm start, the deformation
+map of a just-solved registration — reuses the warm plan instead of
+re-tracing and re-planning.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.plan_pool import array_fingerprint, get_plan_pool
 from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.kernels import GatherPlan
@@ -84,6 +93,25 @@ def compute_departure_points(
 
 
 @dataclass
+class DeparturePlanData:
+    """Pooled per-velocity planning data: departure points + gather plan.
+
+    The unit the plan pool stores and accounts for: the backward-traced
+    departure points of one ``(velocity, dt)`` pair and the gather plan
+    (wrapped coordinates + cached stencil) of one interpolation kernel /
+    backend at those points.
+    """
+
+    points: np.ndarray
+    plan: GatherPlan
+
+    @property
+    def nbytes(self) -> int:
+        """Exact array payload in bytes (plan-pool accounting)."""
+        return self.points.nbytes + self.plan.nbytes
+
+
+@dataclass
 class SemiLagrangianStepper:
     """One semi-Lagrangian time step for a scalar transport equation.
 
@@ -102,23 +130,63 @@ class SemiLagrangianStepper:
         Time-step size.
     interpolator:
         Off-grid interpolation kernel (tricubic by default).
+    departure_points, departure_plan:
+        Precomputed planning data (both must be given together); when
+        omitted the stepper fetches them from the shared plan pool —
+        building them only if no prior stepper planned the same
+        ``(grid, velocity, dt, kernel, backend)`` content.
+    use_plan_pool:
+        Set to ``False`` to bypass the pool entirely (always rebuild).
     """
 
     grid: Grid
     velocity: np.ndarray
     dt: float
     interpolator: Optional[PeriodicInterpolator] = None
+    departure_points: Optional[np.ndarray] = None
+    departure_plan: Optional[GatherPlan] = None
+    use_plan_pool: bool = True
 
     def __post_init__(self) -> None:
         self.velocity = check_velocity_shape(self.velocity, self.grid.shape)
         if self.interpolator is None:
             self.interpolator = PeriodicInterpolator(self.grid)
-        self.departure_points = compute_departure_points(
-            self.grid, self.velocity, self.dt, self.interpolator
+        if (self.departure_points is None) != (self.departure_plan is None):
+            raise ValueError(
+                "departure_points and departure_plan must be provided together "
+                "(one without the other would silently be rebuilt and ignored)"
+            )
+        if self.departure_points is None:
+            if self.use_plan_pool:
+                data = get_plan_pool().get(self._pool_key(), self._build_departure_data)
+            else:
+                data = self._build_departure_data()
+            self.departure_points = data.points
+            self.departure_plan = data.plan
+
+    # ------------------------------------------------------------------ #
+    def _pool_key(self) -> Tuple:
+        """Content key of this stepper's planning data in the shared pool."""
+        return (
+            "semi-lagrangian-departure",
+            self.grid,
+            float(self.dt),
+            self.interpolator.method,
+            self.interpolator.backend_name,
+            array_fingerprint(self.velocity),
         )
+
+    def _build_departure_data(self) -> DeparturePlanData:
+        """Trace the characteristics and plan the gather (the pool's miss path)."""
+        points = compute_departure_points(self.grid, self.velocity, self.dt, self.interpolator)
         # the paper's planning phase: the gather stencil of the departure
         # points is computed once and reused by every step of every field
-        self.departure_plan: GatherPlan = self.interpolator.plan(self.departure_points)
+        plan = self.interpolator.plan(points)
+        # pooled entries are shared across steppers; guard them against
+        # accidental in-place mutation by any consumer
+        points.setflags(write=False)
+        plan.coordinates.setflags(write=False)
+        return DeparturePlanData(points=points, plan=plan)
 
     # ------------------------------------------------------------------ #
     def interpolate_at_departure(self, field: np.ndarray) -> np.ndarray:

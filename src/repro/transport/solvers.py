@@ -69,6 +69,22 @@ class TransportPlan:
         """Cached gather plan of the backward characteristics."""
         return self.backward_stepper.departure_plan
 
+    @property
+    def nbytes(self) -> int:
+        """Byte size of the per-velocity planning data this plan holds.
+
+        Counts the departure points and gather plans of both steppers (the
+        quantities the shared plan pool stores and budgets) plus the cached
+        divergence field.
+        """
+        return (
+            self.forward_stepper.departure_points.nbytes
+            + self.forward_gather_plan.nbytes
+            + self.backward_stepper.departure_points.nbytes
+            + self.backward_gather_plan.nbytes
+            + self.divergence.nbytes
+        )
+
 
 @dataclass
 class TransportSolver:
@@ -124,7 +140,14 @@ class TransportSolver:
         return self._interpolator
 
     def plan(self, velocity: np.ndarray) -> TransportPlan:
-        """Build the forward/backward semi-Lagrangian plans for *velocity*."""
+        """Build the forward/backward semi-Lagrangian plans for *velocity*.
+
+        The expensive planning data (departure points + gather stencils of
+        both characteristic directions) comes from the shared plan pool
+        (:mod:`repro.runtime.plan_pool`): velocities the pool has already
+        planned — the accepted line-search trial, a continuation warm
+        start — are warm hits and skip the trace/plan work entirely.
+        """
         velocity = check_velocity_shape(velocity, self.grid.shape)
         forward = SemiLagrangianStepper(
             self.grid, velocity, self.dt, interpolator=self._interpolator

@@ -39,6 +39,16 @@ class TestParser:
                 ["register", "--synthetic", "16", "--interp-backend", "cuda"]
             )
 
+    def test_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["register", "--synthetic", "16", "--plan-pool-bytes", "1000000", "--workers", "2"]
+        )
+        assert args.plan_pool_bytes == 1000000
+        assert args.workers == 2
+        defaults = build_parser().parse_args(["register", "--synthetic", "16"])
+        assert defaults.plan_pool_bytes is None
+        assert defaults.workers is None
+
 
 class TestRegisterCommand:
     def test_synthetic_registration_writes_output(self, tmp_path, capsys):
@@ -86,6 +96,50 @@ class TestRegisterCommand:
         out = capsys.readouterr().out
         assert "Registration summary" in out
         assert "numpy" in out
+
+    def test_plan_pool_flag_and_verbose_stats(self, capsys):
+        from repro.runtime import configure_plan_pool, set_default_workers
+
+        try:
+            code = main(
+                [
+                    "--verbose",
+                    "register",
+                    "--synthetic", "12",
+                    "--plan-pool-bytes", "50000000",
+                    "--workers", "1",
+                    "--max-newton", "2",
+                    "--max-krylov", "4",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "plan_pool_hits" in out
+            assert "plan pool:" in out and "evictions" in out
+        finally:
+            configure_plan_pool(None)
+            set_default_workers(None)
+
+    def test_negative_plan_pool_budget_is_a_clean_error(self, capsys):
+        code = main(
+            ["register", "--synthetic", "12", "--plan-pool-bytes", "-1"]
+        )
+        assert code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_malformed_runtime_env_vars_are_clean_errors(self, capsys, monkeypatch):
+        from repro.runtime import POOL_BYTES_ENV_VAR, INTERP_WORKERS_ENV_VAR
+        from repro.runtime import configure_plan_pool
+
+        monkeypatch.setenv(POOL_BYTES_ENV_VAR, "512M")
+        assert main(["register", "--synthetic", "12"]) == 2
+        assert POOL_BYTES_ENV_VAR in capsys.readouterr().err
+        monkeypatch.delenv(POOL_BYTES_ENV_VAR)
+        configure_plan_pool(None)
+
+        monkeypatch.setenv(INTERP_WORKERS_ENV_VAR, "two")
+        assert main(["register", "--synthetic", "12"]) == 2
+        assert INTERP_WORKERS_ENV_VAR in capsys.readouterr().err
 
     def test_unavailable_interp_backend_is_a_clean_error(self, capsys):
         try:

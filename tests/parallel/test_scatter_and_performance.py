@@ -73,6 +73,38 @@ class TestScatterInterpolation:
         deco, comm, points, plan = make_plan(grid, (2, 2), points_per_rank=100)
         assert sum(plan.local_point_counts()) == 4 * 100
 
+    def test_stencils_are_planned_once_per_velocity(self, grid, rng):
+        """Repeated interpolate calls never rebuild the local stencil plans."""
+        from repro.runtime.plan_pool import reset_plan_pool
+
+        reset_plan_pool()
+        deco, comm, points, plan = make_plan(grid, (2, 2), seed=11)
+        builds_after_init = plan.stencil_builds
+        assert builds_after_init > 0
+        for _ in range(3):
+            plan.interpolate(deco.scatter(rng.standard_normal(grid.shape)))
+        assert plan.stencil_builds == builds_after_init
+        reset_plan_pool()
+
+    def test_replanning_same_points_hits_the_pool(self, grid):
+        """A second plan for the same departure points is a warm pool hit."""
+        from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
+
+        reset_plan_pool()
+        make_plan(grid, (2, 2), seed=12)
+        before = get_plan_pool().stats
+        deco, comm, points, warm = make_plan(grid, (2, 2), seed=12)
+        delta = get_plan_pool().stats - before
+        assert warm.stencil_builds == 0
+        assert delta.misses == 0 and delta.hits > 0
+        # and the warm plans still interpolate correctly
+        field = smooth_scalar_field(grid, seed=13)
+        values = warm.interpolate(deco.scatter(field))
+        serial = PeriodicInterpolator(grid, "catmull_rom")
+        for rank in range(deco.num_tasks):
+            np.testing.assert_allclose(values[rank], serial(field, points[rank]), atol=1e-10)
+        reset_plan_pool()
+
     def test_validates_inputs(self, grid):
         deco = PencilDecomposition(grid.shape, 2, 2)
         comm = SimulatedCommunicator(4)

@@ -8,12 +8,16 @@ from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.kernels import (
     BACKEND_ENV_VAR,
+    PLAN_LAYOUT_ENV_VAR,
     SUPPORTED_METHODS,
+    LeanStencilPlan,
     NumbaInterpolationBackend,
+    StencilPlan,
     available_backends,
     build_stencil_plan,
     bspline_weights,
     default_backend_name,
+    default_plan_layout,
     execute_stencil_plan,
     get_backend,
     periodic_bspline_prefilter,
@@ -214,6 +218,85 @@ class TestCounterParity:
         plan = interp.plan(points)
         interp.interpolate_many_planned(np.stack([field] * 4), plan)
         assert interp.points_interpolated == 4 * points.shape[1]
+
+
+class TestLeanStencilPlans:
+    """The memory-lean plan layout: bitwise identity + the ~4x memory cut."""
+
+    def test_default_layout_is_lean(self, monkeypatch):
+        monkeypatch.delenv(PLAN_LAYOUT_ENV_VAR, raising=False)
+        assert default_plan_layout() == "lean"
+        monkeypatch.setenv(PLAN_LAYOUT_ENV_VAR, "fat")
+        assert default_plan_layout() == "fat"
+
+    def test_unknown_layout_rejected(self, grid, points):
+        with pytest.raises(ValueError, match="unknown stencil-plan layout"):
+            build_stencil_plan(grid.shape, np.zeros((3, 4)), "linear", layout="sparse")
+
+    @pytest.mark.parametrize("method", SUPPORTED_METHODS)
+    def test_lean_and_fat_gather_bitwise_identically(self, method, grid, field):
+        rng = np.random.default_rng(11)
+        coords = rng.uniform(0, 16, size=(3, 3000))
+        flat = np.stack([field, field[::-1]]).reshape(2, -1)
+        fat = build_stencil_plan(grid.shape, coords, method, layout="fat")
+        lean = build_stencil_plan(grid.shape, coords, method, layout="lean")
+        assert isinstance(fat, StencilPlan) and isinstance(lean, LeanStencilPlan)
+        np.testing.assert_array_equal(
+            execute_stencil_plan(flat, fat), execute_stencil_plan(flat, lean)
+        )
+
+    def test_lean_and_fat_agree_non_periodic(self):
+        rng = np.random.default_rng(12)
+        block = rng.standard_normal((12, 12, 12))
+        coords = rng.uniform(2.0, 9.0, size=(3, 500))
+        fat = build_stencil_plan(block.shape, coords, "catmull_rom", periodic=False, layout="fat")
+        lean = build_stencil_plan(
+            block.shape, coords, "catmull_rom", periodic=False, layout="lean"
+        )
+        flat = block.reshape(1, -1)
+        np.testing.assert_array_equal(
+            execute_stencil_plan(flat, fat), execute_stencil_plan(flat, lean)
+        )
+
+    @pytest.mark.parametrize("method", ["cubic_bspline", "catmull_rom"])
+    def test_lean_tricubic_plan_is_under_thirty_percent(self, grid, method):
+        """The ISSUE's memory criterion: lean <= ~30% of the fat layout."""
+        rng = np.random.default_rng(13)
+        coords = rng.uniform(0, 16, size=(3, 4096))
+        fat = build_stencil_plan(grid.shape, coords, method, layout="fat")
+        lean = build_stencil_plan(grid.shape, coords, method, layout="lean")
+        assert lean.nbytes <= 0.30 * fat.nbytes
+        # exact accounting: 3 int32 base + 3 float64 frac per point
+        assert lean.nbytes == coords.shape[1] * 3 * (4 + 8)
+
+    def test_lean_plan_chunk_matches_fat_views(self, grid):
+        rng = np.random.default_rng(14)
+        coords = rng.uniform(0, 16, size=(3, 1000))
+        fat = build_stencil_plan(grid.shape, coords, "catmull_rom", layout="fat")
+        lean = build_stencil_plan(grid.shape, coords, "catmull_rom", layout="lean")
+        fat_idx, fat_w = fat.chunk_stencil(100, 300)
+        lean_idx, lean_w = lean.chunk_stencil(100, 300)
+        for d in range(3):
+            np.testing.assert_array_equal(np.asarray(fat_idx[d]), np.asarray(lean_idx[d]))
+            np.testing.assert_array_equal(np.asarray(fat_w[d]), np.asarray(lean_w[d]))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_plan_lean_by_default(self, backend, grid, points, monkeypatch):
+        monkeypatch.delenv(PLAN_LAYOUT_ENV_VAR, raising=False)
+        interp = PeriodicInterpolator(grid, "catmull_rom", backend=backend)
+        plan = interp.plan(points)
+        assert isinstance(plan.payload, LeanStencilPlan)
+        assert plan.nbytes == plan.coordinates.nbytes + plan.payload.nbytes
+
+    def test_fat_layout_env_opt_out_is_bitwise_identical(self, grid, field, points, monkeypatch):
+        interp = PeriodicInterpolator(grid, "catmull_rom", backend="numpy")
+        lean_values = interp.interpolate_planned(field, interp.plan(points))
+        monkeypatch.setenv(PLAN_LAYOUT_ENV_VAR, "fat")
+        fat_plan = interp.plan(points)
+        assert isinstance(fat_plan.payload, StencilPlan)
+        np.testing.assert_array_equal(
+            interp.interpolate_planned(field, fat_plan), lean_values
+        )
 
 
 class TestStencilPrimitives:
