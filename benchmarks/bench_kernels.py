@@ -321,14 +321,16 @@ def test_bench_interp_backend_comparison(record_text, record_json):
 # stencil-plan memory: fat vs lean layout (written to benchmarks/results/)
 # --------------------------------------------------------------------------- #
 def test_bench_plan_memory(record_text, record_json):
-    """Fat vs memory-lean stencil plans at 128^3: bytes, build, execute.
+    """Fat vs lean vs streaming stencil plans at 128^3: bytes, build, execute.
 
-    Pins the ISSUE's acceptance criterion deterministically (no wall-clock
-    gate): the lean tricubic plan must use <= 30% of the fat layout's
-    memory while gathering bitwise-identical values.  The JSON twin records
-    plan bytes and plan-build vs execute time for both layouts, plus the
-    analytic per-point memory model for 64^3/128^3/256^3 (the README's
-    pool-sizing table).
+    Pins the acceptance criteria deterministically (no wall-clock gate):
+    the lean tricubic plan must use <= 30% of the fat layout's memory, and
+    the streaming plan's resident bytes must not exceed one executor chunk
+    (the out-of-core cap: independent of the grid size), while all three
+    layouts gather bitwise-identical values.  The JSON twin records plan
+    bytes and plan-build vs execute time for every layout, plus the
+    analytic per-point memory model for 64^3/128^3/256^3/512^3 (the
+    README's pool-sizing table).
     """
     n = PLAN_MEMORY_N
     grid = Grid((n, n, n))
@@ -342,10 +344,12 @@ def test_bench_plan_memory(record_text, record_json):
     ] * 3.0 * rng.standard_normal((3, grid.num_points))
     coords = np.mod(points / np.asarray(grid.spacing)[:, None], n)
 
+    from repro.transport.kernels import STENCIL_CHUNK
+
     method = "catmull_rom"
     layouts = {}
     outputs = {}
-    for layout in ("fat", "lean"):
+    for layout in ("fat", "lean", "streaming"):
         plan = build_stencil_plan(grid.shape, coords, method, layout=layout)
         build = _best_of(
             lambda layout=layout: build_stencil_plan(grid.shape, coords, method, layout=layout),
@@ -361,10 +365,13 @@ def test_bench_plan_memory(record_text, record_json):
         }
 
     np.testing.assert_array_equal(outputs["lean"], outputs["fat"])
+    np.testing.assert_array_equal(outputs["streaming"], outputs["fat"])
     ratio = layouts["lean"]["plan_nbytes"] / layouts["fat"]["plan_nbytes"]
+    chunk_cap = 3 * STENCIL_CHUNK * (np.dtype(np.intp).itemsize + 8)
 
     # analytic per-point model (tricubic): fat = 3*(taps*8) index parts +
-    # 3*(taps*8) weights; lean = 3*4 (int32 base) + 3*8 (float64 frac)
+    # 3*(taps*8) weights; lean = 3*4 (int32 base) + 3*8 (float64 frac);
+    # streaming = one chunk of scratch, independent of the point count
     fat_per_point = 2 * 3 * 4 * 8
     lean_per_point = 3 * (4 + 8)
     memory_table = {
@@ -372,36 +379,47 @@ def test_bench_plan_memory(record_text, record_json):
             "points": m**3,
             "fat_plan_bytes": fat_per_point * m**3,
             "lean_plan_bytes": lean_per_point * m**3,
+            "streaming_plan_bytes": min(chunk_cap, 3 * (8 + 8) * m**3),
             "transport_plan_pair_lean_bytes": 2 * (lean_per_point + 24 + 24) * m**3,
         }
-        for m in (64, 128, 256)
+        for m in (64, 128, 256, 512)
     }
 
-    header = f"{'layout':<8} {'plan bytes':>14} {'B/point':>9} {'build [s]':>10} {'execute [s]':>12}"
+    header = f"{'layout':<10} {'plan bytes':>14} {'B/point':>9} {'build [s]':>10} {'execute [s]':>12}"
     rows = [
-        f"tricubic stencil plan, fat vs lean layout at {n}^3 ({grid.num_points} points)",
+        f"tricubic stencil plan, fat vs lean vs streaming layout at {n}^3 "
+        f"({grid.num_points} points)",
+        "(streaming bytes = resident stencil scratch, capped at one "
+        f"{STENCIL_CHUNK}-point chunk; its coordinates are borrowed)",
         header,
         "-" * len(header),
     ]
     for layout, data in layouts.items():
         rows.append(
-            f"{layout:<8} {data['plan_nbytes']:>14d} {data['bytes_per_point']:>9.1f} "
+            f"{layout:<10} {data['plan_nbytes']:>14d} {data['bytes_per_point']:>9.2f} "
             f"{data['plan_build_seconds']:>10.4f} {data['execute_seconds_per_field']:>12.4f}"
         )
     rows.append(f"lean / fat memory ratio: {ratio:.3f} (acceptance: <= 0.30)")
+    rows.append(
+        f"streaming resident bytes: {layouts['streaming']['plan_nbytes']} "
+        f"(acceptance: <= one chunk = {chunk_cap})"
+    )
     record_text("plan_memory", "\n".join(rows))
     record_json(
         "plan_memory",
         {
-            "benchmark": "stencil-plan memory, fat vs lean layout",
+            "benchmark": "stencil-plan memory, fat vs lean vs streaming layout",
             "grid": [n, n, n],
             "num_points": grid.num_points,
             "method": method,
+            "stencil_chunk_points": STENCIL_CHUNK,
             "layouts": layouts,
             "lean_over_fat_memory_ratio": ratio,
+            "streaming_chunk_cap_bytes": chunk_cap,
             "bitwise_identical": True,
             "memory_model_tricubic": memory_table,
         },
     )
 
     assert ratio <= 0.30, f"lean plan uses {ratio:.1%} of the fat layout's memory"
+    assert layouts["streaming"]["plan_nbytes"] <= chunk_cap

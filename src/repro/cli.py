@@ -56,9 +56,11 @@ from repro.spectral.backends import (
     registered_backends,
 )
 from repro.transport.kernels import (
+    PLAN_LAYOUTS,
     available_backends as available_interp_backends,
     get_backend as get_interp_backend,
     registered_backends as registered_interp_backends,
+    set_default_plan_layout,
 )
 from repro.utils.logging import set_verbosity
 
@@ -116,6 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     reg.add_argument(
+        "--plan-layout",
+        choices=PLAN_LAYOUTS,
+        default=None,
+        help=(
+            "stencil-plan storage layout: 'lean' (36 B/point), 'fat' "
+            "(192 B/point), or 'streaming' (chunk-resident, for out-of-core "
+            "grids; default: $REPRO_PLAN_LAYOUT or 'lean'); all layouts are "
+            "bitwise identical"
+        ),
+    )
+    reg.add_argument(
         "--plan-pool-bytes",
         type=int,
         default=None,
@@ -168,6 +181,7 @@ def _run_register(args: argparse.Namespace) -> int:
         # resolve early (flag or environment) for a clean error message
         get_backend(args.fft_backend)
         get_interp_backend(args.interp_backend)
+        set_default_plan_layout(args.plan_layout)  # None keeps the env default
         configure_plan_pool(args.plan_pool_bytes)  # None re-reads the env
         if args.workers is not None:
             set_default_workers(args.workers)
@@ -196,12 +210,18 @@ def _run_register(args: argparse.Namespace) -> int:
     result = solver.run(template, reference, grid=grid)
     print(format_rows([result.summary()], title="Registration summary"))
     if args.verbose:
-        stats = get_plan_pool().stats
+        pool = get_plan_pool()
+        stats = pool.stats
         print(
             f"plan pool: {stats.hits} hits, {stats.misses} misses, "
             f"{stats.evictions} evictions, {stats.current_bytes} bytes resident "
             f"(peak {stats.peak_bytes})"
         )
+        for tag, tag_stats in pool.stats_by_tag().items():
+            print(
+                f"  {tag}: {tag_stats.hits} hits, {tag_stats.misses} misses, "
+                f"{tag_stats.entries} entries, {tag_stats.current_bytes} bytes"
+            )
     if args.output:
         np.savez_compressed(
             args.output,

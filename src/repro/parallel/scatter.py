@@ -19,15 +19,19 @@ The result is numerically identical to the serial
 :class:`repro.transport.interpolation.PeriodicInterpolator` with the
 ``"catmull_rom"`` kernel, which is what the test-suite asserts.
 
-The per-owner stencil plans (the 4x4x4 base indices and weights of the
-points each owner received) depend only on the departure points, so they
-are built **once per plan**, right next to the ``alltoallv`` routing
-tables, and fetched through the shared plan pool
-(:mod:`repro.runtime.plan_pool`) — a second plan for the same velocity
-(e.g. the backward characteristics of a re-created solver) is a warm hit.
-Every ``interpolate`` call then only exchanges ghosts and runs the cached
-stencils, giving the distributed path the same per-velocity amortization
-as the serial steppers.
+The whole planning product — the owner map, the ``alltoallv`` routing
+tables (which points each owner received from each requester) and the
+per-owner non-periodic stencil plans — depends only on the departure
+points, the grid and the decomposition, so since PR 4 it is pooled **as
+one unit** (:class:`ScatterPlanData`) in the shared plan pool
+(:mod:`repro.runtime.plan_pool`), keyed by content.  Re-creating a plan
+for an unchanged velocity — a re-built distributed solver, the backward
+characteristics of an adjoint sweep — is a single warm hit with *zero*
+``alltoallv`` setup: no owner computation, no point scatter, no stencil
+builds.  Every ``interpolate`` call then only exchanges ghosts and runs
+the cached stencils, giving the distributed path the same per-velocity
+amortization as the serial steppers, now including the routing tables
+the alltoallv setup used to rebuild per plan.
 """
 
 from __future__ import annotations
@@ -42,10 +46,66 @@ from repro.parallel.ghost import exchange_ghost_layers
 from repro.parallel.pencil import PencilDecomposition
 from repro.runtime.plan_pool import array_fingerprint, get_plan_pool
 from repro.spectral.grid import Grid
-from repro.transport.kernels import StencilPlanLike, build_stencil_plan, execute_stencil_plan
+from repro.transport.kernels import (
+    StencilPlanLike,
+    StreamingStencilPlan,
+    build_stencil_plan,
+    default_plan_layout,
+    execute_stencil_plan,
+)
 
 #: Halo width required by the 4-point (tricubic) stencil.
 GHOST_WIDTH = 2
+
+#: Leading key element (= plan-pool tag) of pooled scatter-plan entries.
+SCATTER_PLAN_TAG = "scatter-plan"
+
+
+@dataclass
+class ScatterPlanData:
+    """The pooled content of one scatter plan (communicator independent).
+
+    Everything the ``alltoallv`` setup produces for one set of departure
+    points: the owner of every local point, the routing tables (the point
+    coordinates each owner received, per requester — exactly the layout the
+    value return travels back along) and the per-owner ghost-block stencil
+    plans.  None of it references the communicator, so one pooled entry
+    serves any number of re-created :class:`ScatterInterpolationPlan`
+    instances, each with its own ledger.
+
+    Because the product is pooled as one unit, it is also evicted (or
+    oversize-rejected) as one unit: a plan larger than the whole pool
+    budget caches nothing, and every re-creation then redoes the full
+    setup.  Size ``REPRO_PLAN_POOL_BYTES`` for distributed runs accordingly
+    — one entry is roughly ``(32 + stencil bytes/point) * N^3`` bytes; the
+    streaming layout shrinks the stencil term to a per-owner constant.
+    """
+
+    owner_of_point: List[np.ndarray]
+    points_by_owner: List[List[np.ndarray]]
+    stencil_plans: List[List[Optional[StencilPlanLike]]]
+    stencil_builds: int
+
+    @property
+    def nbytes(self) -> int:
+        """Exact array payload in bytes (plan-pool accounting).
+
+        Streaming stencils only report their one-chunk scratch cap and
+        *borrow* their coordinate buffers — here those buffers are owned by
+        this entry (they are the shifted ghost-block coordinates, not the
+        routing-table points), so they are charged explicitly.
+        """
+        total = sum(owner.nbytes for owner in self.owner_of_point)
+        for rows in self.points_by_owner:
+            total += sum(np.asarray(chunk).nbytes for chunk in rows)
+        for rows in self.stencil_plans:
+            for plan in rows:
+                if plan is None:
+                    continue
+                total += plan.nbytes
+                if isinstance(plan, StreamingStencilPlan):
+                    total += plan.coordinates.nbytes
+        return total
 
 
 @dataclass
@@ -66,14 +126,22 @@ class ScatterInterpolationPlan:
         Per-rank arrays of physical coordinates, shape ``(3, M_r)``; the
         points rank ``r`` needs values at (one per locally owned grid point
         in the semi-Lagrangian scheme, but any point set is accepted).
+    use_plan_pool:
+        Set to ``False`` to bypass the shared pool (always rebuild the
+        routing tables and stencils).
+
+    After construction, ``pool_hit`` records whether the whole planning
+    product came warm from the pool (in which case the construction did no
+    ``alltoallv`` and ``stencil_builds`` is 0).
     """
 
     grid: Grid
     decomposition: PencilDecomposition
     comm: SimulatedCommunicator
     departure_points: Sequence[np.ndarray]
-    _owner_of_point: List[np.ndarray] = field(init=False, repr=False)
-    _points_by_owner: List[List[np.ndarray]] = field(init=False, repr=False)
+    use_plan_pool: bool = True
+    pool_hit: bool = field(init=False, default=False)
+    _data: ScatterPlanData = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         deco = self.decomposition
@@ -82,39 +150,68 @@ class ScatterInterpolationPlan:
                 f"expected one point array per rank ({deco.num_tasks}), "
                 f"got {len(self.departure_points)}"
             )
-        spacing = np.asarray(self.grid.spacing)[:, None]
-        shape = np.asarray(self.grid.shape, dtype=np.float64)[:, None]
-
-        self._owner_of_point = []
-        send: List[List[np.ndarray]] = [
-            [np.empty((3, 0)) for _ in range(deco.num_tasks)] for _ in range(deco.num_tasks)
-        ]
-        self._fractional = []
+        points: List[np.ndarray] = []
         for rank in range(deco.num_tasks):
             pts = np.asarray(self.departure_points[rank], dtype=np.float64)
             if pts.ndim != 2 or pts.shape[0] != 3:
                 raise ValueError(
                     f"departure points of rank {rank} must have shape (3, M), got {pts.shape}"
                 )
-            q = np.mod(pts / spacing, shape)  # fractional global grid indices
+            points.append(np.ascontiguousarray(pts))
+
+        # the entire planning product is keyed by content: same grid, same
+        # decomposition, same departure points (and the same stencil layout)
+        # -> same routing tables and stencils, no matter which solver or
+        # communicator asks
+        built: List[bool] = []
+
+        def build() -> ScatterPlanData:
+            built.append(True)
+            return self._build_plan_data(points)
+
+        if self.use_plan_pool:
+            key = (
+                SCATTER_PLAN_TAG,
+                self.grid,
+                self.decomposition,
+                default_plan_layout(),
+                array_fingerprint(*points),
+            )
+            data = get_plan_pool().get(key, build)
+        else:
+            data = build()
+        self.pool_hit = not built
+        # builds executed during *this* construction (0 on a warm hit)
+        self.stencil_builds = data.stencil_builds if built else 0
+        self._data = data
+
+    def _build_plan_data(self, points: List[np.ndarray]) -> ScatterPlanData:
+        """Owner map + alltoallv routing tables + stencils (the miss path)."""
+        deco = self.decomposition
+        spacing = np.asarray(self.grid.spacing)[:, None]
+        shape = np.asarray(self.grid.shape, dtype=np.float64)[:, None]
+
+        owner_of_point: List[np.ndarray] = []
+        send: List[List[np.ndarray]] = [
+            [np.empty((3, 0)) for _ in range(deco.num_tasks)] for _ in range(deco.num_tasks)
+        ]
+        for rank in range(deco.num_tasks):
+            q = np.mod(points[rank] / spacing, shape)  # fractional global grid indices
             # floating-point mod of a value that is a tiny negative multiple of
             # the period can return exactly `shape`; wrap it back to 0
             q = np.where(q >= shape, q - shape, q)
-            self._fractional.append(q)
             owner = deco.owner_of_indices(np.floor(q).astype(np.intp) % shape.astype(np.intp))
-            self._owner_of_point.append(owner)
+            owner_of_point.append(owner)
             for other in range(deco.num_tasks):
                 send[rank][other] = q[:, owner == other]
-        # scatter phase: ship the points to their owners (once per velocity)
-        received = self.comm.alltoallv(send, category="interp_scatter")
-        self._points_by_owner = received
+        # scatter phase: ship the points to their owners (once per velocity
+        # *content* — a pooled plan never repeats this)
+        points_by_owner = self.comm.alltoallv(send, category="interp_scatter")
 
-        # planning phase: build each owner's local stencil plans once, next
-        # to the routing tables, through the shared plan pool (content keyed,
-        # so a re-created plan for the same departure points is a warm hit)
-        self.stencil_builds = 0
-        pool = get_plan_pool()
-        self._stencil_plans: List[List[Optional[StencilPlanLike]]] = [
+        # planning phase: build each owner's local stencil plans once, right
+        # next to the routing tables they belong to
+        stencil_builds = 0
+        stencil_plans: List[List[Optional[StencilPlanLike]]] = [
             [None] * deco.num_tasks for _ in range(deco.num_tasks)
         ]
         for owner in range(deco.num_tasks):
@@ -124,25 +221,23 @@ class ScatterInterpolationPlan:
                 n + 2 * GHOST_WIDTH for n in deco.local_shape(owner, (0, 1))
             )
             for requester in range(deco.num_tasks):
-                q = np.asarray(self._points_by_owner[owner][requester])
+                q = np.asarray(points_by_owner[owner][requester])
                 if q.size == 0:
                     continue
                 # the owner test guarantees floor(q) lies in the owner's index
                 # range, so the shift into the ghost-extended block needs no
                 # periodic unwrapping
                 local = q - offsets + GHOST_WIDTH
-
-                def build(local=local, shape=extended_shape):
-                    self.stencil_builds += 1
-                    return build_stencil_plan(shape, local, "catmull_rom", periodic=False)
-
-                key = (
-                    "scatter-stencil",
-                    "catmull_rom",
-                    extended_shape,
-                    array_fingerprint(local),
+                stencil_builds += 1
+                stencil_plans[owner][requester] = build_stencil_plan(
+                    extended_shape, local, "catmull_rom", periodic=False
                 )
-                self._stencil_plans[owner][requester] = pool.get(key, build)
+        return ScatterPlanData(
+            owner_of_point=owner_of_point,
+            points_by_owner=points_by_owner,
+            stencil_plans=stencil_plans,
+            stencil_builds=stencil_builds,
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -152,7 +247,7 @@ class ScatterInterpolationPlan:
     def local_point_counts(self) -> List[int]:
         """Number of points each owner has to interpolate (load-balance view)."""
         return [
-            int(sum(np.asarray(chunk).shape[1] for chunk in self._points_by_owner[rank]))
+            int(sum(np.asarray(chunk).shape[1] for chunk in self._data.points_by_owner[rank]))
             for rank in range(self.num_tasks)
         ]
 
@@ -181,14 +276,15 @@ class ScatterInterpolationPlan:
 
         # line 3: every owner runs its cached (non-periodic) stencil plans —
         # the same registered kernel the serial backends evaluate, planned
-        # once in __post_init__ instead of per call
+        # once per departure-point content instead of per call
+        stencil_plans = self._data.stencil_plans
         results_back: List[List[np.ndarray]] = [
             [np.empty(0) for _ in range(deco.num_tasks)] for _ in range(deco.num_tasks)
         ]
         for owner in range(deco.num_tasks):
             flat_block = np.ascontiguousarray(extended[owner], dtype=np.float64).reshape(1, -1)
             for requester in range(deco.num_tasks):
-                plan = self._stencil_plans[owner][requester]
+                plan = stencil_plans[owner][requester]
                 if plan is None:
                     results_back[owner][requester] = np.empty(0)
                     continue
@@ -199,7 +295,7 @@ class ScatterInterpolationPlan:
 
         output: List[np.ndarray] = []
         for rank in range(deco.num_tasks):
-            owner = self._owner_of_point[rank]
+            owner = self._data.owner_of_point[rank]
             n_points = owner.shape[0]
             values = np.empty(n_points, dtype=np.float64)
             for source in range(deco.num_tasks):

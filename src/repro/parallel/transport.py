@@ -15,6 +15,12 @@ advection (state / adjoint for divergence-free velocities) is provided here;
 it is the kernel whose communication pattern the performance model charges
 for, and the source-term variants reduce to extra interpolations of grid
 fields through the very same plan.
+
+Both scatter plans of the RK2 trace (the first-stage ``X*`` plan and the
+departure plan) are fetched through the shared plan pool: re-creating the
+stepper — or a whole :class:`DistributedTransportSolver` run — for an
+unchanged velocity performs **zero** ``alltoallv`` setup; ``plan_pool_hits``
+reports how many of the two plans came warm.
 """
 
 from __future__ import annotations
@@ -50,6 +56,9 @@ class DistributedSemiLagrangian:
         Time-step size.
     comm:
         Simulated communicator (created when omitted).
+    use_plan_pool:
+        Set to ``False`` to bypass the shared plan pool (always rebuild the
+        scatter plans' routing tables and stencils).
     """
 
     grid: Grid
@@ -57,6 +66,8 @@ class DistributedSemiLagrangian:
     velocity: np.ndarray
     dt: float
     comm: Optional[SimulatedCommunicator] = None
+    use_plan_pool: bool = True
+    star_plan: ScatterInterpolationPlan = field(init=False, repr=False)
     departure_plan: ScatterInterpolationPlan = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -82,9 +93,11 @@ class DistributedSemiLagrangian:
             (self._local_coords[rank] - self.dt * self._local_velocity[rank]).reshape(3, -1)
             for rank in range(deco.num_tasks)
         ]
-        star_plan = ScatterInterpolationPlan(self.grid, deco, self.comm, x_star)
+        self.star_plan = ScatterInterpolationPlan(
+            self.grid, deco, self.comm, x_star, use_plan_pool=self.use_plan_pool
+        )
         velocity_blocks = [deco.scatter(self.velocity[axis]) for axis in range(3)]
-        v_at_star = [star_plan.interpolate(velocity_blocks[axis]) for axis in range(3)]
+        v_at_star = [self.star_plan.interpolate(velocity_blocks[axis]) for axis in range(3)]
 
         # second stage: X = x - dt/2 (v(x) + v(X*))
         departure_points: List[np.ndarray] = []
@@ -98,10 +111,20 @@ class DistributedSemiLagrangian:
             )
             departure_points.append(departure.reshape(3, -1))
         self.departure_plan = ScatterInterpolationPlan(
-            self.grid, deco, self.comm, departure_points
+            self.grid, deco, self.comm, departure_points, use_plan_pool=self.use_plan_pool
         )
 
     # ------------------------------------------------------------------ #
+    @property
+    def plan_pool_hits(self) -> int:
+        """How many of the two scatter plans came warm from the plan pool.
+
+        ``2`` means this stepper was re-created for a velocity the pool had
+        already planned: the construction performed zero ``alltoallv`` setup
+        and zero stencil builds.
+        """
+        return int(self.star_plan.pool_hit) + int(self.departure_plan.pool_hit)
+
     def step(self, blocks: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Advance a distributed scalar field by one (pure advection) step."""
         deco = self.decomposition

@@ -32,6 +32,7 @@ from repro.runtime.plan_pool import (
     array_fingerprint,
     configure_plan_pool,
     get_plan_pool,
+    key_tag,
     reset_plan_pool,
 )
 from repro.runtime.workers import (
@@ -52,6 +53,7 @@ __all__ = [
     "array_fingerprint",
     "configure_plan_pool",
     "get_plan_pool",
+    "key_tag",
     "reset_plan_pool",
     "FFT_WORKERS_ENV_VAR",
     "INTERP_WORKERS_ENV_VAR",

@@ -18,7 +18,11 @@ content (grid, velocity fingerprint, kernel, backend), with
   entirely (every lookup builds), plus
 * **hit/miss/eviction statistics** so solvers, tests and benchmarks can
   observe warm-plan reuse (:class:`PoolStats` supports subtraction for
-  per-run deltas).
+  per-run deltas), both pool-wide and **per entry kind**
+  (:meth:`PlanPool.stats_by_tag`: every key's leading string — e.g.
+  ``"semi-lagrangian-departure"`` or ``"scatter-plan"`` — is its tag, so
+  the distributed scatter plans are visible in the accounting next to the
+  serial gather plans).
 
 Keys are content fingerprints (:func:`array_fingerprint`), never object
 identities, so two solves that revisit the same velocity on the same grid
@@ -121,10 +125,34 @@ class PoolStats:
         }
 
 
+def key_tag(key: Hashable) -> str:
+    """Entry-kind tag of a pool key: its leading string element.
+
+    Every subsystem keys its entries with a tuple whose first element names
+    the plan kind (``"semi-lagrangian-departure"``, ``"scatter-plan"``, ...);
+    anything else lands in the ``"untagged"`` bucket.
+    """
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return "untagged"
+
+
 @dataclass
 class _Entry:
     value: Any
     nbytes: int
+    tag: str = "untagged"
+
+
+@dataclass
+class _TagCounters:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    oversize: int = 0
+    current_bytes: int = 0
+    peak_bytes: int = 0
+    entries: int = 0
 
 
 class PlanPool:
@@ -152,6 +180,14 @@ class PlanPool:
         self._oversize = 0
         self._current_bytes = 0
         self._peak_bytes = 0
+        self._tags: Dict[str, _TagCounters] = {}
+
+    def _tag(self, tag: str) -> _TagCounters:
+        """Counters of one entry kind (created on first touch, locked)."""
+        counters = self._tags.get(tag)
+        if counters is None:
+            counters = self._tags[tag] = _TagCounters()
+        return counters
 
     # ------------------------------------------------------------------ #
     # core operations
@@ -179,8 +215,10 @@ class PlanPool:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                self._tag(entry.tag).hits += 1
                 return entry.value
             self._misses += 1
+            self._tag(key_tag(key)).misses += 1
         value = builder()
         size = int(nbytes(value) if nbytes is not None else value.nbytes)
         self._store(key, value, size)
@@ -206,20 +244,30 @@ class PlanPool:
             _, evicted = self._entries.popitem(last=False)
             self._current_bytes -= evicted.nbytes
             self._evictions += 1
+            counters = self._tag(evicted.tag)
+            counters.evictions += 1
+            counters.current_bytes -= evicted.nbytes
+            counters.entries -= 1
 
     def _store(self, key: Hashable, value: Any, size: int) -> None:
+        tag = key_tag(key)
         with self._lock:
             if size > self.max_bytes:
                 # would evict the whole pool and still not fit: hand the
                 # plan to the caller but keep the pool contents intact
                 self._oversize += 1
+                self._tag(tag).oversize += 1
                 return
             if key in self._entries:  # concurrent build of the same key
                 return
-            self._entries[key] = _Entry(value, size)
+            self._entries[key] = _Entry(value, size, tag)
             self._current_bytes += size
+            counters = self._tag(tag)
+            counters.current_bytes += size
+            counters.entries += 1
             self._evict_to_fit()
             self._peak_bytes = max(self._peak_bytes, self._current_bytes)
+            counters.peak_bytes = max(counters.peak_bytes, counters.current_bytes)
 
     def set_max_bytes(self, max_bytes: int) -> None:
         """Change the budget, evicting LRU entries if it shrinks below use."""
@@ -237,6 +285,9 @@ class PlanPool:
         with self._lock:
             self._entries.clear()
             self._current_bytes = 0
+            for counters in self._tags.values():
+                counters.current_bytes = 0
+                counters.entries = 0
 
     def reset(self) -> None:
         """Drop every entry and zero all statistics."""
@@ -244,6 +295,7 @@ class PlanPool:
             self.clear()
             self._hits = self._misses = self._evictions = self._oversize = 0
             self._peak_bytes = 0
+            self._tags.clear()
 
     def keys(self) -> Tuple[Hashable, ...]:
         """Current keys in LRU order (least recently used first)."""
@@ -267,6 +319,30 @@ class PlanPool:
                 peak_bytes=self._peak_bytes,
                 entries=len(self._entries),
             )
+
+    def stats_by_tag(self) -> Dict[str, PoolStats]:
+        """Per-entry-kind statistics (see :func:`key_tag`).
+
+        The per-tag counters (hits/misses/evictions/oversize) and the
+        ``current_bytes``/``entries`` gauges partition the pool-wide
+        :attr:`stats` exactly, so the scatter-plan entries of the
+        distributed solver are separately visible in the byte accounting.
+        ``peak_bytes`` is each tag's *own* high-water mark — tags can peak
+        at different times, so those do not sum to the pool-wide peak.
+        """
+        with self._lock:
+            return {
+                tag: PoolStats(
+                    hits=counters.hits,
+                    misses=counters.misses,
+                    evictions=counters.evictions,
+                    oversize_rejections=counters.oversize,
+                    current_bytes=counters.current_bytes,
+                    peak_bytes=counters.peak_bytes,
+                    entries=counters.entries,
+                )
+                for tag, counters in sorted(self._tags.items())
+            }
 
 
 # --------------------------------------------------------------------------- #

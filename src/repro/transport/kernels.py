@@ -49,6 +49,16 @@ bytes per point instead of 192) and the chunked executor is thread-pooled
 through the shared runtime (:mod:`repro.runtime.workers`,
 ``REPRO_INTERP_WORKERS`` / ``REPRO_WORKERS``); both the layout and the
 worker count leave every gather bitwise unchanged.
+
+PR 4 adds the **streaming layout** (:class:`StreamingStencilPlan`,
+``REPRO_PLAN_LAYOUT=streaming``): no ``base``/``frac`` arrays are
+materialized at all — a generator backed only by the (borrowed) departure
+coordinates produces them one cache-sized chunk at a time, capping the
+resident stencil memory at one chunk regardless of the grid size.  All
+three layouts feed the executor through one uniform chunk protocol
+(:meth:`iter_chunks` + :meth:`chunk_stencil`) and gather bitwise
+identically, so out-of-core grids (>512^3 single node) only change the
+memory profile, never the numerics.
 """
 
 from __future__ import annotations
@@ -68,13 +78,14 @@ BACKEND_ENV_VAR = "REPRO_INTERP_BACKEND"
 DEFAULT_BACKEND = "scipy"
 
 #: Environment variable selecting the stencil-plan storage layout
-#: (``"lean"`` — the memory-lean default — or ``"fat"``).
+#: (``"lean"`` — the memory-lean default —, ``"fat"``, or the
+#: chunk-resident ``"streaming"``).
 PLAN_LAYOUT_ENV_VAR = "REPRO_PLAN_LAYOUT"
 
 DEFAULT_PLAN_LAYOUT = "lean"
 
 #: Known stencil-plan layouts (see :func:`build_stencil_plan`).
-PLAN_LAYOUTS = ("lean", "fat")
+PLAN_LAYOUTS = ("lean", "fat", "streaming")
 
 #: Interpolation kernels every backend understands.
 SUPPORTED_METHODS = ("cubic_bspline", "catmull_rom", "linear")
@@ -166,6 +177,39 @@ def periodic_bspline_prefilter(fields: np.ndarray) -> np.ndarray:
 # --------------------------------------------------------------------------- #
 # stencil plans (the cached part of a gather plan)
 # --------------------------------------------------------------------------- #
+def _chunk_spans(num_points: int, chunk: int) -> Tuple[Tuple[int, int], ...]:
+    """Disjoint, ascending ``[lo, hi)`` spans covering ``[0, num_points)``."""
+    return tuple((lo, min(lo + chunk, num_points)) for lo in range(0, num_points, chunk))
+
+
+def _derive_chunk_stencil(
+    method: str,
+    taps: int,
+    shape: Tuple[int, int, int],
+    periodic: bool,
+    base: np.ndarray,
+    frac: np.ndarray,
+):
+    """Materialize flat index parts and axis weights from ``(3, m)`` base/frac.
+
+    This is *the* stencil arithmetic: the fat build, the lean per-chunk
+    rebuild and the streaming generator all run these exact operations, which
+    is what makes every layout gather bitwise identically.
+    """
+    weight_fn, lead = _METHOD_STENCILS[method]
+    strides = (shape[1] * shape[2], shape[2], 1)
+    index_parts = []
+    weights = []
+    for d in range(3):
+        w = np.stack(weight_fn(frac[d]), axis=0)
+        offsets = [base[d] + (offset + lead) for offset in range(taps)]
+        if periodic:
+            offsets = [idx % shape[d] for idx in offsets]
+        index_parts.append(np.stack(offsets, axis=0) * strides[d])
+        weights.append(w)
+    return tuple(index_parts), tuple(weights)
+
+
 @dataclass
 class StencilPlan:
     """Fully materialized ("fat") stencil: flat index parts + axis weights.
@@ -197,6 +241,10 @@ class StencilPlan:
         return sum(part.nbytes for part in self.index_parts) + sum(
             w.nbytes for w in self.weights
         )
+
+    def iter_chunks(self, chunk: Optional[int] = None) -> Tuple[Tuple[int, int], ...]:
+        """The executor's chunk protocol: spans to feed :meth:`chunk_stencil`."""
+        return _chunk_spans(self.num_points, chunk or STENCIL_CHUNK)
 
     def chunk_stencil(self, lo: int, hi: int):
         """Index-part / weight views of the points ``[lo, hi)``."""
@@ -238,35 +286,125 @@ class LeanStencilPlan:
         """Exact array payload in bytes (plan-pool accounting)."""
         return self.base.nbytes + self.frac.nbytes
 
+    def iter_chunks(self, chunk: Optional[int] = None) -> Tuple[Tuple[int, int], ...]:
+        """The executor's chunk protocol: spans to feed :meth:`chunk_stencil`."""
+        return _chunk_spans(self.num_points, chunk or STENCIL_CHUNK)
+
     def chunk_stencil(self, lo: int, hi: int):
         """Materialize index parts and weights of the points ``[lo, hi)``.
 
         Exactly the arithmetic of the fat build in
         :func:`build_stencil_plan`, applied to one chunk.
         """
-        weight_fn, lead = _METHOD_STENCILS[self.method]
-        strides = (self.shape[1] * self.shape[2], self.shape[2], 1)
-        index_parts = []
-        weights = []
-        for d in range(3):
-            base = self.base[d, lo:hi].astype(np.intp)
-            w = np.stack(weight_fn(self.frac[d, lo:hi]), axis=0)
-            offsets = [base + (offset + lead) for offset in range(self.taps)]
-            if self.periodic:
-                offsets = [idx % self.shape[d] for idx in offsets]
-            index_parts.append(np.stack(offsets, axis=0) * strides[d])
-            weights.append(w)
-        return tuple(index_parts), tuple(weights)
+        return _derive_chunk_stencil(
+            self.method,
+            self.taps,
+            self.shape,
+            self.periodic,
+            self.base[:, lo:hi].astype(np.intp),
+            self.frac[:, lo:hi],
+        )
 
 
-#: Either stencil-plan layout; both execute through the same chunked loop.
-StencilPlanLike = Union[StencilPlan, LeanStencilPlan]
+@dataclass
+class StreamingStencilPlan:
+    """Chunk-resident stencil: ``base``/``frac`` are never materialized.
+
+    The plan stores nothing but a *borrowed* reference to the fractional
+    departure coordinates (which the wrapping :class:`GatherPlan` or scatter
+    plan owns and accounts for anyway); a generator derives each chunk's
+    ``base``/``frac`` — and from them the index parts and weights — inside
+    the executor's cache-blocked loop.  Resident stencil memory is therefore
+    capped at **one chunk** regardless of the grid size, which is what makes
+    >512^3 single-node (out-of-core) runs feasible: a 512^3 lean plan weighs
+    ~4.8 GB, the streaming plan a few hundred kB of per-chunk scratch.
+
+    Deriving ``base = floor(c)`` and ``frac = c - base`` per chunk applies
+    bit-for-bit the arithmetic of the lean build, and the shared
+    :func:`_derive_chunk_stencil` does the rest, so streaming gathers are
+    bitwise identical to the lean and fat layouts (pinned by the property
+    suite across layouts, chunk sizes and worker counts).  Unlike the lean
+    layout it also needs no int32 range guard — indices are derived straight
+    into the native ``intp`` width.
+    """
+
+    method: str
+    taps: int
+    shape: Tuple[int, int, int]
+    periodic: bool
+    coordinates: np.ndarray
+    chunk: int = STENCIL_CHUNK
+
+    @property
+    def num_points(self) -> int:
+        return self.coordinates.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident plan bytes: the one-chunk ``base``/``frac`` scratch cap.
+
+        The coordinates are borrowed, not owned — the :class:`GatherPlan`
+        (or the scatter-plan entry) that hands them to this plan accounts
+        for them, so the pool never double counts the shared buffer.
+        """
+        m = min(self.num_points, self.chunk)
+        return 3 * m * (np.dtype(np.intp).itemsize + np.dtype(np.float64).itemsize)
+
+    def iter_chunks(self, chunk: Optional[int] = None) -> Tuple[Tuple[int, int], ...]:
+        """The executor's chunk protocol: spans to feed :meth:`chunk_stencil`."""
+        return _chunk_spans(self.num_points, chunk or self.chunk)
+
+    def chunk_stencil(self, lo: int, hi: int):
+        """Generate index parts and weights of the points ``[lo, hi)`` lazily.
+
+        Pure function of the borrowed coordinates — chunks can run in any
+        order and concurrently (the threaded executor) with bitwise
+        deterministic results.
+        """
+        c = self.coordinates[:, lo:hi]
+        base = np.floor(c).astype(np.intp)
+        return _derive_chunk_stencil(
+            self.method, self.taps, self.shape, self.periodic, base, c - base
+        )
+
+
+#: Any stencil-plan layout; all execute through the same chunked loop.
+StencilPlanLike = Union[StencilPlan, LeanStencilPlan, StreamingStencilPlan]
+
+
+#: Process-wide layout override (the CLI's ``--plan-layout`` path); takes
+#: precedence over ``REPRO_PLAN_LAYOUT``, mirrors ``set_default_workers``.
+_process_plan_layout: Optional[str] = None
 
 
 def default_plan_layout() -> str:
-    """Layout selected by ``REPRO_PLAN_LAYOUT`` (``"lean"`` by default)."""
+    """Active layout: process override, then ``REPRO_PLAN_LAYOUT``, then lean."""
+    if _process_plan_layout is not None:
+        return _process_plan_layout
     layout = os.environ.get(PLAN_LAYOUT_ENV_VAR, DEFAULT_PLAN_LAYOUT).strip().lower()
     return layout or DEFAULT_PLAN_LAYOUT
+
+
+def set_default_plan_layout(layout: Optional[str]) -> None:
+    """Set the process-wide default stencil-plan layout (the CLI path).
+
+    ``None`` clears a previous override (falling back to the environment /
+    built-in default — the same contract as
+    :func:`repro.runtime.workers.set_default_workers`); anything else must
+    be one of :data:`PLAN_LAYOUTS` and becomes the default for every
+    subsequently built plan.  The environment is never mutated, so child
+    processes are unaffected.
+    """
+    global _process_plan_layout
+    if layout is None:
+        _process_plan_layout = None
+        return
+    layout = layout.strip().lower()
+    if layout not in PLAN_LAYOUTS:
+        raise ValueError(
+            f"unknown stencil-plan layout {layout!r}; expected one of {PLAN_LAYOUTS}"
+        )
+    _process_plan_layout = layout
 
 
 def build_stencil_plan(
@@ -291,8 +429,10 @@ def build_stencil_plan(
         One of :data:`SUPPORTED_METHODS`.
     layout:
         ``"lean"`` (int32 base + fractional offsets, the default),
-        ``"fat"`` (materialized index parts and weights), or ``None`` for
-        the ``REPRO_PLAN_LAYOUT`` environment default.  Both layouts gather
+        ``"fat"`` (materialized index parts and weights), ``"streaming"``
+        (chunk-resident: nothing materialized, ``base``/``frac`` generated
+        per chunk from the coordinates), or ``None`` for the
+        ``REPRO_PLAN_LAYOUT`` environment default.  All layouts gather
         bitwise identically.
     """
     if layout is None:
@@ -302,34 +442,33 @@ def build_stencil_plan(
             f"unknown stencil-plan layout {layout!r}; expected one of {PLAN_LAYOUTS}"
         )
     weight_fn, lead = _METHOD_STENCILS[method]
+    taps = len(weight_fn(np.zeros(1)))
+    shape = tuple(int(n) for n in shape)
+    if layout == "streaming":
+        return StreamingStencilPlan(
+            method=method,
+            taps=taps,
+            shape=shape,
+            periodic=periodic,
+            coordinates=np.ascontiguousarray(coordinates, dtype=np.float64),
+        )
     base = np.floor(coordinates).astype(np.intp)
     frac = coordinates - base
     if layout == "lean" and max(shape) <= np.iinfo(np.int32).max:
-        taps = len(weight_fn(np.zeros(1)))
         return LeanStencilPlan(
             method=method,
             taps=taps,
-            shape=tuple(int(n) for n in shape),
+            shape=shape,
             periodic=periodic,
             base=base.astype(np.int32),
             frac=np.ascontiguousarray(frac),
         )
-    strides = (shape[1] * shape[2], shape[2], 1)
-    index_parts = []
-    weights = []
-    for d in range(3):
-        w = np.stack(weight_fn(frac[d]), axis=0)
-        taps = w.shape[0]
-        offsets = [base[d] + (offset + lead) for offset in range(taps)]
-        if periodic:
-            offsets = [idx % shape[d] for idx in offsets]
-        index_parts.append(np.stack(offsets, axis=0) * strides[d])
-        weights.append(w)
+    index_parts, weights = _derive_chunk_stencil(method, taps, shape, periodic, base, frac)
     return StencilPlan(
         method=method,
-        taps=weights[0].shape[0],
-        index_parts=tuple(index_parts),
-        weights=tuple(weights),
+        taps=taps,
+        index_parts=index_parts,
+        weights=weights,
     )
 
 
@@ -380,7 +519,7 @@ def _execute_stencil_chunk(
 def execute_stencil_plan(
     flat_fields: np.ndarray,
     plan: StencilPlanLike,
-    chunk: int = STENCIL_CHUNK,
+    chunk: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> np.ndarray:
     """Gather a ``(B, num_grid_points)`` stack through a stencil plan.
@@ -389,19 +528,26 @@ def execute_stencil_plan(
     cache while the tap loop runs, so each batched gather streams the plan
     arrays exactly once and reads the field with the locality of the
     (grid-ordered) departure points.  One index computation serves every
-    field of the batch — the batching win of ``interpolate_many``.  Lean
-    plans re-derive each chunk's index parts and weights here, with the fat
-    build's exact arithmetic, so both layouts gather bitwise identically.
+    field of the batch — the batching win of ``interpolate_many``.
+
+    Every plan layout feeds this loop through the same chunk protocol —
+    ``plan.iter_chunks(chunk)`` yields the spans, ``plan.chunk_stencil(lo,
+    hi)`` hands back that chunk's index parts and weights: fat plans return
+    views, lean plans re-derive from their stored ``base``/``frac``, and
+    streaming plans generate ``base``/``frac`` on the fly from the departure
+    coordinates.  All three run the fat build's exact arithmetic, so every
+    layout gathers bitwise identically.
 
     The chunks are embarrassingly parallel (disjoint output slices) and are
     dispatched to the shared runtime thread pool when *workers* — resolved
     through :func:`repro.runtime.workers.resolve_workers` under the
     ``REPRO_INTERP_WORKERS`` / ``REPRO_WORKERS`` policy — exceeds one.  The
-    result is bitwise independent of the worker count.
+    result is bitwise independent of both the worker count and the chunk
+    size.
     """
     num_fields, num_points = flat_fields.shape[0], plan.num_points
     out = np.zeros((num_fields, num_points))
-    spans = [(lo, min(lo + chunk, num_points)) for lo in range(0, num_points, chunk)]
+    spans = plan.iter_chunks(chunk)
     if workers is None:
         workers = resolve_workers("interp")
     if workers > 1 and len(spans) > 1:
@@ -450,8 +596,18 @@ class GatherPlan:
 
     @property
     def nbytes(self) -> int:
-        """Exact array payload in bytes (plan-pool accounting)."""
+        """Exact array payload in bytes (plan-pool accounting).
+
+        A streaming payload normally borrows this plan's own coordinate
+        buffer (zero copy); if a build ever had to copy (non-contiguous or
+        non-float64 input), the copy is accounted here too.
+        """
         payload_bytes = self.payload.nbytes if self.payload is not None else 0
+        if (
+            isinstance(self.payload, StreamingStencilPlan)
+            and self.payload.coordinates is not self.coordinates
+        ):
+            payload_bytes += self.payload.coordinates.nbytes
         return self.coordinates.nbytes + payload_bytes
 
 
@@ -645,17 +801,16 @@ class NumbaInterpolationBackend(NumpyInterpolationBackend):
         plan = payload or build_stencil_plan(fields.shape[-3:], coordinates, method)
         flat = self._prepare(fields, method)
         out = np.zeros((flat.shape[0], plan.num_points))
-        if isinstance(plan, LeanStencilPlan):
-            # memory-lean path: materialize one cache-sized chunk at a time
-            # and hand it to the JIT kernel (disjoint output slices)
-            for lo in range(0, plan.num_points, STENCIL_CHUNK):
-                hi = min(lo + STENCIL_CHUNK, plan.num_points)
-                (i0, i1, i2), (w0, w1, w2) = plan.chunk_stencil(lo, hi)
-                self._kernel(flat, i0, i1, i2, w0, w1, w2, out[:, lo:hi])
-        else:
+        if isinstance(plan, StencilPlan):
             i0, i1, i2 = plan.index_parts
             w0, w1, w2 = plan.weights
             self._kernel(flat, i0, i1, i2, w0, w1, w2, out)
+        else:
+            # lean/streaming path: materialize one cache-sized chunk at a
+            # time and hand it to the JIT kernel (disjoint output slices)
+            for lo, hi in plan.iter_chunks():
+                (i0, i1, i2), (w0, w1, w2) = plan.chunk_stencil(lo, hi)
+                self._kernel(flat, i0, i1, i2, w0, w1, w2, out[:, lo:hi])
         return out
 
 

@@ -52,7 +52,7 @@ import numpy as np
 from repro.runtime.plan_pool import array_fingerprint, get_plan_pool
 from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
-from repro.transport.kernels import GatherPlan
+from repro.transport.kernels import GatherPlan, default_plan_layout
 from repro.utils.validation import check_velocity_shape
 
 
@@ -166,13 +166,19 @@ class SemiLagrangianStepper:
 
     # ------------------------------------------------------------------ #
     def _pool_key(self) -> Tuple:
-        """Content key of this stepper's planning data in the shared pool."""
+        """Content key of this stepper's planning data in the shared pool.
+
+        The stencil-plan layout is part of the content: a pooled lean plan
+        must never satisfy a lookup made under ``REPRO_PLAN_LAYOUT=streaming``
+        (they gather identically, but their memory accounting differs).
+        """
         return (
             "semi-lagrangian-departure",
             self.grid,
             float(self.dt),
             self.interpolator.method,
             self.interpolator.backend_name,
+            default_plan_layout(),
             array_fingerprint(self.velocity),
         )
 

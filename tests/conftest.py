@@ -1,8 +1,16 @@
 """Shared fixtures for the test-suite.
 
-All fixtures deliberately use very small grids (8^3 - 16^3) so that the full
-suite (several hundred tests) runs in a few minutes; correctness of the
-spectral and semi-Lagrangian kernels does not depend on resolution.
+The synthetic-field, grid and distributed-plan *factories* live in
+:mod:`tests.fixtures` (one shared library instead of per-suite copies);
+this conftest wires them up as pytest fixtures and owns the cross-cutting
+test hygiene:
+
+* every test runs against a **fresh plan pool** (autouse fixture below) —
+  the pool is process-wide state, and hit/miss statistics leaking between
+  test modules made pool assertions order dependent;
+* all fixtures deliberately use very small grids (8^3 - 16^3) so that the
+  full suite (several hundred tests) runs in a few minutes; correctness of
+  the spectral and semi-Lagrangian kernels does not depend on resolution.
 """
 
 from __future__ import annotations
@@ -10,10 +18,44 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 
+from tests.fixtures import make_grid, smooth_scalar_field, smooth_velocity_field
 
+#: Factories re-exported for test modules that still import them from here;
+#: new code should import from :mod:`tests.fixtures` directly.
+__all__ = ["make_grid", "smooth_scalar_field", "smooth_velocity_field"]
+
+
+# --------------------------------------------------------------------------- #
+# process-wide state hygiene
+# --------------------------------------------------------------------------- #
+@pytest.fixture(autouse=True)
+def _fresh_plan_pool():
+    """Give every test a clean process-wide plan pool.
+
+    The pool is shared process state: without this, a stepper planned by one
+    test is a warm hit in the next, so hit/miss/byte assertions (and any
+    test run in isolation vs. in-suite) would depend on execution order.
+    Entries and statistics are dropped; the byte budget (which the pressure
+    CI leg sets via ``REPRO_PLAN_POOL_BYTES``) is left untouched.
+    """
+    reset_plan_pool()
+    yield
+    reset_plan_pool()
+
+
+@pytest.fixture()
+def plan_pool():
+    """The (freshly reset) shared plan pool, for stats-sensitive tests."""
+    return get_plan_pool()
+
+
+# --------------------------------------------------------------------------- #
+# grids and operators
+# --------------------------------------------------------------------------- #
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(20160613)
@@ -22,19 +64,25 @@ def rng() -> np.random.Generator:
 @pytest.fixture(scope="session")
 def small_grid() -> Grid:
     """Isotropic 16^3 grid on [0, 2*pi)^3."""
-    return Grid((16, 16, 16))
+    return make_grid(16)
+
+
+@pytest.fixture(scope="session")
+def medium_grid() -> Grid:
+    """Isotropic 12^3 grid (the runtime/parallel suites' workhorse)."""
+    return make_grid(12)
 
 
 @pytest.fixture(scope="session")
 def tiny_grid() -> Grid:
     """Isotropic 8^3 grid for the most expensive solver tests."""
-    return Grid((8, 8, 8))
+    return make_grid(8)
 
 
 @pytest.fixture(scope="session")
 def anisotropic_grid() -> Grid:
     """Anisotropic grid (different point counts per dimension)."""
-    return Grid((8, 12, 10))
+    return make_grid((8, 12, 10))
 
 
 @pytest.fixture(scope="session")
@@ -42,31 +90,9 @@ def small_operators(small_grid: Grid) -> SpectralOperators:
     return SpectralOperators(small_grid)
 
 
-def smooth_scalar_field(grid: Grid, seed: int = 0, modes: int = 2) -> np.ndarray:
-    """Band-limited random smooth scalar field (exactly representable)."""
-    rng_local = np.random.default_rng(seed)
-    x1, x2, x3 = grid.coordinates(sparse=True)
-    field = np.zeros(grid.shape, dtype=grid.dtype)
-    for _ in range(4):
-        k = rng_local.integers(1, modes + 1, size=3)
-        phase = rng_local.uniform(0, 2 * np.pi, size=3)
-        amp = rng_local.uniform(0.2, 1.0)
-        field = field + amp * (
-            np.sin(k[0] * x1 + phase[0])
-            * np.sin(k[1] * x2 + phase[1])
-            * np.sin(k[2] * x3 + phase[2])
-        )
-    return field
-
-
-def smooth_vector_field(grid: Grid, seed: int = 0, modes: int = 2) -> np.ndarray:
-    """Band-limited random smooth vector field."""
-    return np.stack(
-        [smooth_scalar_field(grid, seed=seed + comp, modes=modes) for comp in range(3)],
-        axis=0,
-    )
-
-
+# --------------------------------------------------------------------------- #
+# synthetic fields
+# --------------------------------------------------------------------------- #
 @pytest.fixture()
 def smooth_field(small_grid: Grid) -> np.ndarray:
     return smooth_scalar_field(small_grid, seed=3)
@@ -74,4 +100,10 @@ def smooth_field(small_grid: Grid) -> np.ndarray:
 
 @pytest.fixture()
 def smooth_velocity(small_grid: Grid) -> np.ndarray:
-    return 0.5 * smooth_vector_field(small_grid, seed=11)
+    return smooth_velocity_field(small_grid, seed=11)
+
+
+@pytest.fixture(scope="session")
+def velocity_factory():
+    """Factory fixture: ``velocity_factory(grid, seed=..., amplitude=...)``."""
+    return smooth_velocity_field

@@ -16,7 +16,7 @@ import pytest
 from repro.core.problem import RegistrationProblem
 from repro.data.synthetic import synthetic_registration_problem
 
-from tests.conftest import smooth_vector_field
+from tests.fixtures import smooth_vector_field
 
 
 @pytest.fixture(scope="module")

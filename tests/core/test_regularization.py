@@ -12,7 +12,7 @@ from repro.core.regularization import (
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 
-from tests.conftest import smooth_vector_field
+from tests.fixtures import smooth_vector_field
 
 
 @pytest.fixture(scope="module")

@@ -48,6 +48,17 @@ class TestParser:
         defaults = build_parser().parse_args(["register", "--synthetic", "16"])
         assert defaults.plan_pool_bytes is None
         assert defaults.workers is None
+        assert defaults.plan_layout is None
+
+    def test_plan_layout_choices(self):
+        args = build_parser().parse_args(
+            ["register", "--synthetic", "16", "--plan-layout", "streaming"]
+        )
+        assert args.plan_layout == "streaming"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["register", "--synthetic", "16", "--plan-layout", "sparse"]
+            )
 
 
 class TestRegisterCommand:
@@ -119,6 +130,35 @@ class TestRegisterCommand:
         finally:
             configure_plan_pool(None)
             set_default_workers(None)
+
+    def test_plan_layout_run_sets_process_default(self, capsys, monkeypatch):
+        import os
+
+        from repro.transport.kernels import (
+            PLAN_LAYOUT_ENV_VAR,
+            default_plan_layout,
+            set_default_plan_layout,
+        )
+
+        monkeypatch.delenv(PLAN_LAYOUT_ENV_VAR, raising=False)
+        try:
+            code = main(
+                [
+                    "register",
+                    "--synthetic", "12",
+                    "--plan-layout", "streaming",
+                    "--max-newton", "2",
+                    "--max-krylov", "4",
+                ]
+            )
+            assert code == 0
+            assert "Registration summary" in capsys.readouterr().out
+            assert default_plan_layout() == "streaming"
+            # the CLI flag never leaks into the environment (child processes)
+            assert PLAN_LAYOUT_ENV_VAR not in os.environ
+        finally:
+            set_default_plan_layout(None)
+        assert default_plan_layout() == "lean"
 
     def test_negative_plan_pool_budget_is_a_clean_error(self, capsys):
         code = main(

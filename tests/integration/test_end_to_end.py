@@ -25,6 +25,8 @@ from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.semi_lagrangian import compute_departure_points
 from repro.transport.solvers import TransportSolver
 
+pytestmark = pytest.mark.slow
+
 
 class TestSyntheticRecovery:
     """Register the paper's synthetic problem and check the paper's claims."""

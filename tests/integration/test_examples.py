@@ -16,6 +16,8 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 EXAMPLES_DIR = REPO_ROOT / "examples"
 
+pytestmark = pytest.mark.slow
+
 
 def run_example(name: str, *args: str, timeout: float = 300.0) -> str:
     # the child process does not inherit pytest's `pythonpath` ini setting,

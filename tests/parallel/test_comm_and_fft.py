@@ -11,7 +11,9 @@ from repro.parallel.pencil import PencilDecomposition
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 
-from tests.conftest import smooth_scalar_field, smooth_vector_field
+from tests.fixtures import smooth_scalar_field, smooth_vector_field
+
+pytestmark = pytest.mark.mpi
 
 
 class TestLedger:

@@ -12,7 +12,9 @@ from repro.transport.semi_lagrangian import SemiLagrangianStepper, compute_depar
 from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.solvers import TransportSolver
 
-from tests.conftest import smooth_scalar_field, smooth_vector_field
+from tests.fixtures import smooth_scalar_field, smooth_vector_field, smooth_velocity_field
+
+pytestmark = pytest.mark.mpi
 
 
 @pytest.fixture(scope="module")
@@ -22,7 +24,7 @@ def grid():
 
 @pytest.fixture(scope="module")
 def velocity(grid):
-    return 0.5 * smooth_vector_field(grid, seed=4)
+    return smooth_velocity_field(grid, seed=4)
 
 
 class TestDistributedSemiLagrangian:
@@ -64,6 +66,41 @@ class TestDistributedSemiLagrangian:
         deco = PencilDecomposition(grid.shape, 2, 2)
         with pytest.raises(ValueError):
             DistributedSemiLagrangian(grid, deco, np.zeros(grid.shape), dt=0.1)
+
+    def test_recreated_stepper_is_a_pool_hit_with_no_setup(self, grid, velocity):
+        """The tentpole no-replan pin: same velocity -> zero alltoallv setup.
+
+        A re-created distributed stepper for an unchanged velocity must get
+        both of its scatter plans (the RK2 star plan and the departure plan)
+        warm from the shared pool — no owner computation, no point scatter,
+        no stencil builds — and still step bitwise identically.
+        """
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        cold = DistributedSemiLagrangian(grid, deco, velocity, dt=0.25)
+        assert cold.plan_pool_hits == 0
+        field = smooth_scalar_field(grid, seed=9)
+        expected = cold.step(deco.scatter(field))
+
+        warm_comm = SimulatedCommunicator(deco.num_tasks)
+        warm = DistributedSemiLagrangian(grid, deco, velocity, dt=0.25, comm=warm_comm)
+        assert warm.plan_pool_hits == 2
+        assert warm.star_plan.stencil_builds == 0
+        assert warm.departure_plan.stencil_builds == 0
+        # the warm construction shipped no departure points anywhere: its
+        # only communication was interpolating v(X*) through the warm plan
+        assert warm_comm.ledger.bytes("interp_scatter") == 0
+        blocks = warm.step(deco.scatter(field))
+        for rank in range(deco.num_tasks):
+            np.testing.assert_array_equal(blocks[rank], expected[rank])
+
+    def test_pool_bypass_always_rebuilds(self, grid, velocity):
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        DistributedSemiLagrangian(grid, deco, velocity, dt=0.25)
+        rebuilt = DistributedSemiLagrangian(
+            grid, deco, velocity, dt=0.25, use_plan_pool=False
+        )
+        assert rebuilt.plan_pool_hits == 0
+        assert rebuilt.departure_plan.stencil_builds > 0
 
 
 class TestDistributedTransportSolver:

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.parallel.pencil import PencilDecomposition, split_axis
 
+pytestmark = pytest.mark.mpi
+
 
 class TestSplitAxis:
     def test_even_split(self):

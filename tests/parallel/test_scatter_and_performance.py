@@ -12,12 +12,14 @@ from repro.parallel.performance import (
     strong_scaling_efficiency,
     weak_scaling_efficiency,
 )
-from repro.parallel.scatter import ScatterInterpolationPlan
+from repro.parallel.scatter import SCATTER_PLAN_TAG, ScatterInterpolationPlan
 from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.semi_lagrangian import compute_departure_points
 
-from tests.conftest import smooth_scalar_field, smooth_vector_field
+from tests.fixtures import make_scatter_plan, smooth_scalar_field, smooth_velocity_field
+
+pytestmark = pytest.mark.mpi
 
 
 @pytest.fixture(scope="module")
@@ -25,19 +27,10 @@ def grid():
     return Grid((12, 12, 12))
 
 
-def make_plan(grid, pgrid, points_per_rank=150, seed=0):
-    deco = PencilDecomposition(grid.shape, *pgrid)
-    comm = SimulatedCommunicator(deco.num_tasks)
-    rng = np.random.default_rng(seed)
-    points = [rng.uniform(-5, 12, size=(3, points_per_rank)) for _ in range(deco.num_tasks)]
-    plan = ScatterInterpolationPlan(grid, deco, comm, points)
-    return deco, comm, points, plan
-
-
 class TestScatterInterpolation:
     @pytest.mark.parametrize("pgrid", [(2, 2), (1, 3), (3, 2), (1, 1)])
     def test_matches_serial_catmull_rom(self, grid, pgrid, rng):
-        deco, comm, points, plan = make_plan(grid, pgrid)
+        deco, comm, points, plan = make_scatter_plan(grid, pgrid)
         field = rng.standard_normal(grid.shape)
         values = plan.interpolate(deco.scatter(field))
         serial = PeriodicInterpolator(grid, "catmull_rom")
@@ -46,7 +39,7 @@ class TestScatterInterpolation:
 
     def test_semi_lagrangian_departure_points(self, grid):
         # the actual use case: departure points of the synthetic velocity
-        velocity = 0.5 * smooth_vector_field(grid, seed=2)
+        velocity = smooth_velocity_field(grid, seed=2)
         departure = compute_departure_points(grid, velocity, dt=0.25)
         deco = PencilDecomposition(grid.shape, 2, 2)
         comm = SimulatedCommunicator(deco.num_tasks)
@@ -63,47 +56,76 @@ class TestScatterInterpolation:
             np.testing.assert_allclose(values[rank], expected, atol=1e-10)
 
     def test_communication_is_recorded(self, grid, rng):
-        deco, comm, points, plan = make_plan(grid, (2, 3))
+        deco, comm, points, plan = make_scatter_plan(grid, (2, 3))
         plan.interpolate(deco.scatter(rng.standard_normal(grid.shape)))
         assert comm.ledger.bytes("interp_scatter") > 0
         assert comm.ledger.bytes("interp_return") > 0
         assert comm.ledger.bytes("ghost_exchange") > 0
 
     def test_point_counts_cover_all_points(self, grid):
-        deco, comm, points, plan = make_plan(grid, (2, 2), points_per_rank=100)
+        deco, comm, points, plan = make_scatter_plan(grid, (2, 2), points_per_rank=100)
         assert sum(plan.local_point_counts()) == 4 * 100
 
     def test_stencils_are_planned_once_per_velocity(self, grid, rng):
         """Repeated interpolate calls never rebuild the local stencil plans."""
-        from repro.runtime.plan_pool import reset_plan_pool
-
-        reset_plan_pool()
-        deco, comm, points, plan = make_plan(grid, (2, 2), seed=11)
+        deco, comm, points, plan = make_scatter_plan(grid, (2, 2), seed=11)
         builds_after_init = plan.stencil_builds
         assert builds_after_init > 0
+        assert not plan.pool_hit
         for _ in range(3):
             plan.interpolate(deco.scatter(rng.standard_normal(grid.shape)))
         assert plan.stencil_builds == builds_after_init
-        reset_plan_pool()
 
-    def test_replanning_same_points_hits_the_pool(self, grid):
-        """A second plan for the same departure points is a warm pool hit."""
-        from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
-
-        reset_plan_pool()
-        make_plan(grid, (2, 2), seed=12)
-        before = get_plan_pool().stats
-        deco, comm, points, warm = make_plan(grid, (2, 2), seed=12)
-        delta = get_plan_pool().stats - before
+    def test_replanning_same_points_is_one_whole_plan_hit(self, grid, plan_pool):
+        """The tentpole no-replan pin: re-creating a plan for unchanged
+        departure points is a *single* warm pool hit — no routing-table
+        rebuild, no stencil builds, no ``alltoallv`` point scatter."""
+        make_scatter_plan(grid, (2, 2), seed=12)
+        before = plan_pool.stats
+        deco, comm, points, warm = make_scatter_plan(grid, (2, 2), seed=12)
+        delta = plan_pool.stats - before
+        assert warm.pool_hit
         assert warm.stencil_builds == 0
-        assert delta.misses == 0 and delta.hits > 0
+        assert (delta.hits, delta.misses) == (1, 0)
+        # zero alltoallv setup: the warm plan's own communicator shipped
+        # no departure points at all
+        assert comm.ledger.bytes("interp_scatter") == 0
         # and the warm plans still interpolate correctly
         field = smooth_scalar_field(grid, seed=13)
         values = warm.interpolate(deco.scatter(field))
         serial = PeriodicInterpolator(grid, "catmull_rom")
         for rank in range(deco.num_tasks):
             np.testing.assert_allclose(values[rank], serial(field, points[rank]), atol=1e-10)
-        reset_plan_pool()
+
+    def test_pool_stats_include_scatter_entries(self, grid, plan_pool):
+        """Scatter plans are first-class citizens of the pool accounting."""
+        make_scatter_plan(grid, (2, 2), seed=14)
+        make_scatter_plan(grid, (2, 2), seed=14)  # warm
+        tags = plan_pool.stats_by_tag()
+        assert SCATTER_PLAN_TAG in tags
+        scatter = tags[SCATTER_PLAN_TAG]
+        assert scatter.entries == 1
+        assert scatter.hits == 1 and scatter.misses == 1
+        assert scatter.current_bytes > 0
+        # the tagged gauges add up to the pool-wide accounting
+        assert sum(s.current_bytes for s in tags.values()) == plan_pool.current_bytes
+        assert sum(s.entries for s in tags.values()) == len(plan_pool)
+
+    def test_pooled_entry_bytes_match_plan_payload(self, grid, plan_pool):
+        """bytes_used of the scatter entry == the plan data's own nbytes."""
+        make_scatter_plan(grid, (2, 2), seed=15)
+        (key,) = [k for k in plan_pool.keys() if k[0] == SCATTER_PLAN_TAG]
+        data = plan_pool.peek(key)
+        assert plan_pool.stats_by_tag()[SCATTER_PLAN_TAG].current_bytes == data.nbytes
+
+    def test_pool_bypass_always_rebuilds(self, grid):
+        make_scatter_plan(grid, (2, 2), seed=16)
+        deco, comm, points, plan = make_scatter_plan(
+            grid, (2, 2), seed=16, use_plan_pool=False
+        )
+        assert not plan.pool_hit
+        assert plan.stencil_builds > 0
+        assert comm.ledger.bytes("interp_scatter") > 0
 
     def test_validates_inputs(self, grid):
         deco = PencilDecomposition(grid.shape, 2, 2)

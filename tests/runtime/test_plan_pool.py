@@ -22,15 +22,7 @@ from repro.transport.kernels import build_stencil_plan
 from repro.transport.semi_lagrangian import SemiLagrangianStepper
 from repro.transport.solvers import TransportSolver
 
-from tests.conftest import smooth_vector_field
-
-
-@pytest.fixture()
-def fresh_pool():
-    """Reset the shared pool before and after a stats-sensitive test."""
-    pool = reset_plan_pool()
-    yield pool
-    reset_plan_pool()
+from tests.fixtures import smooth_velocity_field
 
 
 class _Sized:
@@ -112,7 +104,7 @@ class TestPlanPoolCore:
         with pytest.raises(ValueError):
             PlanPool(max_bytes=-1)
 
-    def test_configure_shrink_evicts_to_fit(self, fresh_pool):
+    def test_configure_shrink_evicts_to_fit(self, plan_pool):
         pool = get_plan_pool()
         configure_plan_pool(100)
         pool.get("a", lambda: _Sized(40))
@@ -139,22 +131,22 @@ class TestPlanPoolCore:
 
 
 class TestStepperPooling:
-    def test_same_velocity_planned_once(self, fresh_pool):
+    def test_same_velocity_planned_once(self, plan_pool):
         grid = Grid((12, 12, 12))
-        velocity = 0.4 * smooth_vector_field(grid, seed=101)
+        velocity = smooth_velocity_field(grid, seed=101, amplitude=0.4)
         SemiLagrangianStepper(grid, velocity, dt=0.25)
-        before = fresh_pool.stats
+        before = plan_pool.stats
         stepper = SemiLagrangianStepper(grid, velocity, dt=0.25)
-        delta = fresh_pool.stats - before
+        delta = plan_pool.stats - before
         assert delta.hits == 1 and delta.misses == 0
         # the warm plan is the real one: stepping works and matches a rebuild
         field = np.random.default_rng(0).standard_normal(grid.shape)
         cold = SemiLagrangianStepper(grid, velocity, dt=0.25, use_plan_pool=False)
         np.testing.assert_array_equal(stepper.step(field), cold.step(field))
 
-    def test_one_sided_precomputed_data_rejected(self, fresh_pool):
+    def test_one_sided_precomputed_data_rejected(self, plan_pool):
         grid = Grid((12, 12, 12))
-        velocity = 0.4 * smooth_vector_field(grid, seed=105)
+        velocity = smooth_velocity_field(grid, seed=105, amplitude=0.4)
         full = SemiLagrangianStepper(grid, velocity, dt=0.25)
         with pytest.raises(ValueError, match="provided together"):
             SemiLagrangianStepper(
@@ -165,28 +157,28 @@ class TestStepperPooling:
                 grid, velocity, dt=0.25, departure_plan=full.departure_plan
             )
 
-    def test_key_separates_velocity_dt_method(self, fresh_pool):
+    def test_key_separates_velocity_dt_method(self, plan_pool):
         grid = Grid((12, 12, 12))
-        velocity = 0.4 * smooth_vector_field(grid, seed=102)
+        velocity = smooth_velocity_field(grid, seed=102, amplitude=0.4)
         SemiLagrangianStepper(grid, velocity, dt=0.25)
-        before = fresh_pool.stats
+        before = plan_pool.stats
         SemiLagrangianStepper(grid, -velocity, dt=0.25)  # backward direction
         SemiLagrangianStepper(grid, velocity, dt=0.5)
-        delta = fresh_pool.stats - before
+        delta = plan_pool.stats - before
         assert delta.hits == 0 and delta.misses == 2
 
-    def test_transport_solver_plan_reuses_pool(self, fresh_pool):
+    def test_transport_solver_plan_reuses_pool(self, plan_pool):
         grid = Grid((12, 12, 12))
         solver = TransportSolver(grid, num_time_steps=4)
-        velocity = 0.4 * smooth_vector_field(grid, seed=103)
+        velocity = smooth_velocity_field(grid, seed=103, amplitude=0.4)
         solver.plan(velocity)
-        before = fresh_pool.stats
+        before = plan_pool.stats
         plan = solver.plan(velocity)
-        delta = fresh_pool.stats - before
+        delta = plan_pool.stats - before
         assert delta.hits == 2 and delta.misses == 0  # forward + backward
         assert plan.nbytes > 0
 
-    def test_linearize_reuses_line_search_plan(self, fresh_pool):
+    def test_linearize_reuses_line_search_plan(self, plan_pool):
         """evaluate_objective + linearize of the same velocity plan once."""
         synthetic = synthetic_registration_problem(12)
         problem = RegistrationProblem(
@@ -194,13 +186,62 @@ class TestStepperPooling:
             reference=synthetic.reference,
             template=synthetic.template,
         )
-        velocity = 0.2 * smooth_vector_field(synthetic.grid, seed=104)
+        velocity = smooth_velocity_field(synthetic.grid, seed=104, amplitude=0.2)
         problem.evaluate_objective(velocity)
-        before = fresh_pool.stats
+        before = plan_pool.stats
         problem.linearize(velocity)
-        delta = fresh_pool.stats - before
+        delta = plan_pool.stats - before
         assert delta.misses == 0
         assert delta.hits >= 2
+
+
+class TestTagStats:
+    """Per-entry-kind accounting (stats_by_tag), incl. the stepper entries."""
+
+    def test_stepper_entries_are_tagged(self, plan_pool):
+        grid = Grid((12, 12, 12))
+        velocity = smooth_velocity_field(grid, seed=106, amplitude=0.4)
+        SemiLagrangianStepper(grid, velocity, dt=0.25)
+        SemiLagrangianStepper(grid, velocity, dt=0.25)
+        stats = plan_pool.stats_by_tag()["semi-lagrangian-departure"]
+        assert stats.misses == 1 and stats.hits == 1 and stats.entries == 1
+        assert stats.current_bytes == plan_pool.current_bytes
+
+    def test_tag_gauges_sum_to_pool_gauges(self):
+        pool = PlanPool(max_bytes=1000)
+        pool.get(("a-tag", 1), lambda: _Sized(10))
+        pool.get(("b-tag", 1), lambda: _Sized(20))
+        pool.get(17, lambda: _Sized(5))  # key without a leading string tag
+        tags = pool.stats_by_tag()
+        assert set(tags) == {"a-tag", "b-tag", "untagged"}
+        assert sum(s.current_bytes for s in tags.values()) == pool.current_bytes
+        assert sum(s.entries for s in tags.values()) == len(pool)
+        assert sum(s.misses for s in tags.values()) == pool.stats.misses
+
+    def test_eviction_and_oversize_attributed_to_their_tag(self):
+        pool = PlanPool(max_bytes=25)
+        pool.get(("a", 1), lambda: _Sized(10))
+        pool.get(("b", 1), lambda: _Sized(10))
+        pool.get(("b", 2), lambda: _Sized(10))  # evicts ("a", 1)
+        pool.get(("c", 1), lambda: _Sized(100))  # oversize, never stored
+        tags = pool.stats_by_tag()
+        assert tags["a"].evictions == 1
+        assert tags["a"].entries == 0 and tags["a"].current_bytes == 0
+        assert tags["b"].entries == 2 and tags["b"].current_bytes == 20
+        assert tags["c"].oversize_rejections == 1 and tags["c"].entries == 0
+
+    def test_key_tag_resolution(self):
+        from repro.runtime.plan_pool import key_tag
+
+        assert key_tag(("scatter-plan", "x")) == "scatter-plan"
+        assert key_tag(42) == "untagged"
+        assert key_tag(()) == "untagged"
+        assert key_tag((1, "late-string")) == "untagged"
+
+    def test_reset_clears_tag_stats(self, plan_pool):
+        plan_pool.get(("a", 1), lambda: _Sized(10))
+        reset_plan_pool()
+        assert plan_pool.stats_by_tag() == {}
 
 
 class TestWarmReuseAcrossSolves:
@@ -209,7 +250,7 @@ class TestWarmReuseAcrossSolves:
             gradient_tolerance=1e-2, max_newton_iterations=3, max_krylov_iterations=6
         )
 
-    def test_multilevel_run_has_pool_hits(self, fresh_pool):
+    def test_multilevel_run_has_pool_hits(self, plan_pool):
         synthetic = synthetic_registration_problem(16)
         result = MultilevelRegistration(
             grid=synthetic.grid,
@@ -222,7 +263,7 @@ class TestWarmReuseAcrossSolves:
         assert result.plan_pool.hits > 0
         assert result.plan_pool.misses > 0
 
-    def test_multilevel_plans_each_velocity_once_per_grid(self, fresh_pool):
+    def test_multilevel_plans_each_velocity_once_per_grid(self, plan_pool):
         """Every pool miss is a distinct (grid, velocity) content key."""
         synthetic = synthetic_registration_problem(16)
         MultilevelRegistration(
@@ -232,11 +273,11 @@ class TestWarmReuseAcrossSolves:
             num_levels=2,
             options=self._options(),
         ).run()
-        keys = [k for k in fresh_pool.keys() if k[0] == "semi-lagrangian-departure"]
+        keys = [k for k in plan_pool.keys() if k[0] == "semi-lagrangian-departure"]
         assert len(keys) == len(set(keys))
-        assert fresh_pool.stats.misses == len(keys) + fresh_pool.stats.evictions
+        assert plan_pool.stats.misses == len(keys) + plan_pool.stats.evictions
 
-    def test_continuation_run_has_pool_hits(self, fresh_pool):
+    def test_continuation_run_has_pool_hits(self, plan_pool):
         synthetic = synthetic_registration_problem(12)
         problem = RegistrationProblem(
             grid=synthetic.grid,
@@ -253,7 +294,7 @@ class TestWarmReuseAcrossSolves:
         assert result.plan_pool is not None
         assert result.plan_pool.hits > 0
 
-    def test_eviction_under_pressure_keeps_solves_correct(self, fresh_pool):
+    def test_eviction_under_pressure_keeps_solves_correct(self, plan_pool):
         """A tiny budget forces evictions but never changes results."""
         configure_plan_pool(200_000)  # far below one 16^3 transport plan pair
         try:

@@ -18,7 +18,7 @@ from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.kernels import build_stencil_plan, execute_stencil_plan
 
-from tests.conftest import smooth_scalar_field
+from tests.fixtures import smooth_scalar_field
 
 
 @pytest.fixture(autouse=True)

@@ -14,7 +14,7 @@ from repro.spectral.filters import (
 )
 from repro.spectral.grid import Grid
 
-from tests.conftest import smooth_scalar_field
+from tests.fixtures import smooth_scalar_field
 
 
 class TestGaussianSmoothing:

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 
-from tests.conftest import smooth_scalar_field, smooth_vector_field
+from tests.fixtures import smooth_scalar_field, smooth_vector_field
 
 
 @pytest.fixture(scope="module")

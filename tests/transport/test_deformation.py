@@ -7,7 +7,7 @@ from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 from repro.transport.deformation import DeformationMap, deformation_gradient_determinant
 
-from tests.conftest import smooth_scalar_field, smooth_vector_field
+from tests.fixtures import smooth_scalar_field, smooth_vector_field
 
 
 @pytest.fixture(scope="module")

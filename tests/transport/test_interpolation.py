@@ -12,7 +12,7 @@ from repro.transport.interpolation import (
     linear_weights,
 )
 
-from tests.conftest import smooth_scalar_field
+from tests.fixtures import smooth_scalar_field
 
 METHODS = ("cubic_bspline", "catmull_rom", "linear")
 

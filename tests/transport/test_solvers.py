@@ -7,7 +7,7 @@ from repro.spectral.grid import Grid
 from repro.transport.kernels import available_backends
 from repro.transport.solvers import TransportSolver
 
-from tests.conftest import smooth_scalar_field, smooth_vector_field
+from tests.fixtures import smooth_scalar_field, smooth_vector_field
 
 
 @pytest.fixture(scope="module")
