@@ -44,8 +44,10 @@ from repro.data.synthetic import synthetic_registration_problem
 from repro.parallel.machines import get_machine
 from repro.parallel.performance import RegistrationCostModel
 from repro.runtime import (
+    auto_streaming_fraction,
     configure_plan_pool,
     get_plan_pool,
+    layout_decision_log,
     resolve_workers,
     set_default_workers,
 )
@@ -56,8 +58,9 @@ from repro.spectral.backends import (
     registered_backends,
 )
 from repro.transport.kernels import (
-    PLAN_LAYOUTS,
+    PLAN_LAYOUT_CHOICES,
     available_backends as available_interp_backends,
+    default_plan_layout,
     get_backend as get_interp_backend,
     registered_backends as registered_interp_backends,
     set_default_plan_layout,
@@ -119,12 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reg.add_argument(
         "--plan-layout",
-        choices=PLAN_LAYOUTS,
+        choices=PLAN_LAYOUT_CHOICES,
         default=None,
         help=(
-            "stencil-plan storage layout: 'lean' (36 B/point), 'fat' "
+            "stencil-plan storage layout: 'auto' (budget-aware: streaming "
+            "when a plan's projected lean bytes exceed a fraction of the "
+            "pool budget, lean otherwise), 'lean' (36 B/point), 'fat' "
             "(192 B/point), or 'streaming' (chunk-resident, for out-of-core "
-            "grids; default: $REPRO_PLAN_LAYOUT or 'lean'); all layouts are "
+            "grids; default: $REPRO_PLAN_LAYOUT or 'auto'); all layouts are "
             "bitwise identical"
         ),
     )
@@ -182,6 +187,8 @@ def _run_register(args: argparse.Namespace) -> int:
         get_backend(args.fft_backend)
         get_interp_backend(args.interp_backend)
         set_default_plan_layout(args.plan_layout)  # None keeps the env default
+        default_plan_layout()  # validate $REPRO_PLAN_LAYOUT for a clean error
+        auto_streaming_fraction()  # ... and $REPRO_PLAN_AUTO_FRACTION
         configure_plan_pool(args.plan_pool_bytes)  # None re-reads the env
         if args.workers is not None:
             set_default_workers(args.workers)
@@ -221,6 +228,17 @@ def _run_register(args: argparse.Namespace) -> int:
             print(
                 f"  {tag}: {tag_stats.hits} hits, {tag_stats.misses} misses, "
                 f"{tag_stats.entries} entries, {tag_stats.current_bytes} bytes"
+            )
+        decisions = layout_decision_log()
+        if decisions.total:
+            counts = ", ".join(
+                f"{layout}: {count}" for layout, count in decisions.counts().items()
+            )
+            print(f"auto plan layout: {decisions.total} decisions ({counts})")
+            last = decisions.recent()[-1]
+            print(
+                f"  last: {last.layout} for {last.num_points} points "
+                f"({last.reason})"
             )
     if args.output:
         np.savez_compressed(

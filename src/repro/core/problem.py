@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.regularization import make_regularization
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
+from repro.transport.kernels import default_plan_layout, resolve_plan_layout
 from repro.transport.solvers import TransportPlan, TransportSolver
 from repro.utils.validation import check_positive_int, check_velocity_shape
 
@@ -212,12 +213,18 @@ class RegistrationProblem:
         return 0.5 * self.grid.inner(diff, diff)
 
     def evaluate_objective(self, velocity: np.ndarray) -> ObjectiveParts:
-        """Evaluate ``J[v]`` (one forward transport solve)."""
+        """Evaluate ``J[v]`` (one forward transport solve).
+
+        Only the final state enters the distance term, so this rides
+        :meth:`~repro.transport.solvers.TransportSolver.solve_state_final`
+        — same steps, same interpolation counters, no ``(nt + 1)``-level
+        history allocation (the line search evaluates this once per trial).
+        """
         velocity = check_velocity_shape(velocity, self.grid.shape)
         plan = self.transport.plan(velocity)
-        state_history = self.transport.solve_state(plan, self.template)
+        deformed = self.transport.solve_state_final(plan, self.template)
         return ObjectiveParts(
-            distance=self.distance(state_history[-1]),
+            distance=self.distance(deformed),
             regularization=self.regularizer.energy(velocity),
         )
 
@@ -344,4 +351,8 @@ class RegistrationProblem:
             "interpolation": self.interpolation,
             "fft_backend": self.operators.fft.backend_name,
             "interp_backend": self.transport.interpolator.backend_name,
+            "plan_layout": default_plan_layout(),
+            "plan_layout_resolved": resolve_plan_layout(
+                self.grid.num_points, method=self.interpolation, record=False
+            ),
         }

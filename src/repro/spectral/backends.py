@@ -247,8 +247,20 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def default_backend_name() -> str:
-    """Backend selected by the environment (``REPRO_FFT_BACKEND``) or the default."""
-    return os.environ.get(BACKEND_ENV_VAR, DEFAULT_BACKEND).strip().lower() or DEFAULT_BACKEND
+    """Backend selected by the environment (``REPRO_FFT_BACKEND``) or the default.
+
+    A name the registry does not know is rejected here with the valid
+    choices and the variable that carried it — an environment typo must
+    produce a clear error, never silently select something else.
+    """
+    raw = os.environ.get(BACKEND_ENV_VAR, DEFAULT_BACKEND)
+    name = raw.strip().lower() or DEFAULT_BACKEND
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"{BACKEND_ENV_VAR}={raw!r} is not a registered FFT backend; "
+            f"valid choices: {registered_backends()}"
+        )
+    return name
 
 
 def get_backend(spec: "str | FFTBackend | None" = None) -> FFTBackend:

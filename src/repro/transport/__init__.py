@@ -16,6 +16,8 @@ and reused by every transported field.
 
 from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.kernels import (
+    ArrayFieldSource,
+    FieldSource,
     GatherPlan,
     InterpolationBackend,
     available_backends as available_interpolation_backends,
@@ -32,6 +34,8 @@ from repro.transport.deformation import DeformationMap, deformation_gradient_det
 
 __all__ = [
     "PeriodicInterpolator",
+    "ArrayFieldSource",
+    "FieldSource",
     "GatherPlan",
     "InterpolationBackend",
     "available_interpolation_backends",

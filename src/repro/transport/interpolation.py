@@ -41,10 +41,12 @@ import numpy as np
 from repro.spectral.grid import Grid
 from repro.transport.kernels import (
     SUPPORTED_METHODS,
+    FieldSource,
     GatherPlan,
     InterpolationBackend,
     catmull_rom_weights,
     get_backend,
+    is_field_source,
     linear_weights,
 )
 
@@ -154,11 +156,19 @@ class PeriodicInterpolator:
     # ------------------------------------------------------------------ #
     # gathering (counting lives here, never in the backends)
     # ------------------------------------------------------------------ #
-    def _gather(self, fields: np.ndarray, plan: GatherPlan) -> np.ndarray:
-        self.points_interpolated += fields.shape[0] * plan.num_points
+    def _gather(self, fields: "np.ndarray | FieldSource", plan: GatherPlan) -> np.ndarray:
+        batch = fields.num_fields if is_field_source(fields) else fields.shape[0]
+        self.points_interpolated += batch * plan.num_points
         return self.backend.gather(fields, plan.coordinates, plan.payload, self.method)
 
-    def _check_stack(self, fields: np.ndarray) -> np.ndarray:
+    def _check_stack(self, fields: "np.ndarray | FieldSource") -> "np.ndarray | FieldSource":
+        if is_field_source(fields):
+            if tuple(fields.shape) != self.grid.shape:
+                raise ValueError(
+                    f"field source serves shape {tuple(fields.shape)}, "
+                    f"expected {self.grid.shape}"
+                )
+            return fields
         fields = np.asarray(fields)
         if fields.ndim != 4 or fields.shape[1:] != self.grid.shape:
             raise ValueError(
@@ -201,26 +211,42 @@ class PeriodicInterpolator:
         values = self._gather(field[None], plan)[0]
         return values.reshape(plan.output_shape).astype(self.grid.dtype, copy=False)
 
-    def interpolate_many(self, fields: np.ndarray, points: np.ndarray) -> np.ndarray:
+    def interpolate_many(
+        self, fields: "np.ndarray | FieldSource", points: np.ndarray
+    ) -> np.ndarray:
         """Interpolate a ``(B, N1, N2, N3)`` stack at *points* in one gather.
 
         All fields share the index computation of one gather pass (and, on
         planned paths, the cached stencil), which is the batching the paper
         exploits for the velocity components of the RK2 trace and the
         state/adjoint histories.
+
+        *fields* may also be a :class:`~repro.transport.kernels.FieldSource`
+        (e.g. :class:`~repro.transport.kernels.ArrayFieldSource`): the
+        gather then runs **tiled** — the executor loads only the plane tile
+        each point chunk touches instead of requiring the flattened stack
+        resident — with bitwise-identical values.  Counting is unchanged
+        (it lives here, never in the backends), so the ``4*nt`` sweep pins
+        hold for tiled gathers too.
         """
         fields = self._check_stack(fields)
         plan = self.plan(points)
         values = self._gather(fields, plan)
-        out_shape = (fields.shape[0], *plan.output_shape)
+        out_shape = (values.shape[0], *plan.output_shape)
         return values.reshape(out_shape).astype(self.grid.dtype, copy=False)
 
-    def interpolate_many_planned(self, fields: np.ndarray, plan: GatherPlan) -> np.ndarray:
-        """Batched interpolation of a field stack at the points of *plan*."""
+    def interpolate_many_planned(
+        self, fields: "np.ndarray | FieldSource", plan: GatherPlan
+    ) -> np.ndarray:
+        """Batched interpolation of a field stack at the points of *plan*.
+
+        Accepts a :class:`~repro.transport.kernels.FieldSource` for tiled
+        (out-of-core) gathers, exactly like :meth:`interpolate_many`.
+        """
         fields = self._check_stack(fields)
         self._check_plan(plan)
         values = self._gather(fields, plan)
-        out_shape = (fields.shape[0], *plan.output_shape)
+        out_shape = (values.shape[0], *plan.output_shape)
         return values.reshape(out_shape).astype(self.grid.dtype, copy=False)
 
     def interpolate_vector(self, vector_field: np.ndarray, points: np.ndarray) -> np.ndarray:

@@ -59,11 +59,25 @@ three layouts feed the executor through one uniform chunk protocol
 (:meth:`iter_chunks` + :meth:`chunk_stencil`) and gather bitwise
 identically, so out-of-core grids (>512^3 single node) only change the
 memory profile, never the numerics.
+
+PR 5 completes the out-of-core story for the *fields*: the executor can run
+in a **tiled** mode where the flattened field stack is never required
+resident — a :class:`FieldSource` (ndarray-backed today, memory-mapped for
+on-disk volumes later) serves axis-0 plane tiles per executor chunk, so the
+resident field bytes are bounded by the tile a chunk touches, not the grid
+size.  Tiled and resident gathers run the same tap-loop arithmetic on the
+same float64 values and are bitwise identical on every backend and layout.
+The stencil layout itself now also defaults to **budget-aware auto
+selection** (``REPRO_PLAN_LAYOUT=auto``, :mod:`repro.runtime.layout`):
+``auto`` projects the lean layout's bytes per plan and degrades to
+streaming when they exceed a fraction of the plan-pool budget; explicit
+layout values opt out.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, Tuple, Type, Union, runtime_checkable
 
@@ -78,14 +92,23 @@ BACKEND_ENV_VAR = "REPRO_INTERP_BACKEND"
 DEFAULT_BACKEND = "scipy"
 
 #: Environment variable selecting the stencil-plan storage layout
-#: (``"lean"`` — the memory-lean default —, ``"fat"``, or the
+#: (``"auto"`` — the budget-aware default —, ``"lean"``, ``"fat"``, or the
 #: chunk-resident ``"streaming"``).
 PLAN_LAYOUT_ENV_VAR = "REPRO_PLAN_LAYOUT"
 
-DEFAULT_PLAN_LAYOUT = "lean"
+#: The budget-aware layout policy (see :mod:`repro.runtime.layout`): pick
+#: ``streaming`` when the projected lean bytes of the plan about to be
+#: built exceed a fraction of the plan-pool budget, ``lean`` otherwise.
+AUTO_PLAN_LAYOUT = "auto"
 
-#: Known stencil-plan layouts (see :func:`build_stencil_plan`).
+DEFAULT_PLAN_LAYOUT = AUTO_PLAN_LAYOUT
+
+#: Concrete stencil-plan storage layouts (see :func:`build_stencil_plan`).
 PLAN_LAYOUTS = ("lean", "fat", "streaming")
+
+#: Everything ``REPRO_PLAN_LAYOUT`` / ``--plan-layout`` accepts: a concrete
+#: layout, or ``auto`` for the budget-aware policy.
+PLAN_LAYOUT_CHOICES = (AUTO_PLAN_LAYOUT,) + PLAN_LAYOUTS
 
 #: Interpolation kernels every backend understands.
 SUPPORTED_METHODS = ("cubic_bspline", "catmull_rom", "linear")
@@ -378,11 +401,22 @@ _process_plan_layout: Optional[str] = None
 
 
 def default_plan_layout() -> str:
-    """Active layout: process override, then ``REPRO_PLAN_LAYOUT``, then lean."""
+    """Active layout setting: process override, then ``REPRO_PLAN_LAYOUT``, then auto.
+
+    A malformed environment value is rejected here with the valid choices —
+    a typo must never silently fall through to some other layout (or, worse,
+    only surface deep inside a plan build).
+    """
     if _process_plan_layout is not None:
         return _process_plan_layout
-    layout = os.environ.get(PLAN_LAYOUT_ENV_VAR, DEFAULT_PLAN_LAYOUT).strip().lower()
-    return layout or DEFAULT_PLAN_LAYOUT
+    raw = os.environ.get(PLAN_LAYOUT_ENV_VAR, DEFAULT_PLAN_LAYOUT)
+    layout = raw.strip().lower() or DEFAULT_PLAN_LAYOUT
+    if layout not in PLAN_LAYOUT_CHOICES:
+        raise ValueError(
+            f"{PLAN_LAYOUT_ENV_VAR}={raw!r} is not a valid stencil-plan layout; "
+            f"valid choices: {PLAN_LAYOUT_CHOICES}"
+        )
+    return layout
 
 
 def set_default_plan_layout(layout: Optional[str]) -> None:
@@ -391,7 +425,7 @@ def set_default_plan_layout(layout: Optional[str]) -> None:
     ``None`` clears a previous override (falling back to the environment /
     built-in default — the same contract as
     :func:`repro.runtime.workers.set_default_workers`); anything else must
-    be one of :data:`PLAN_LAYOUTS` and becomes the default for every
+    be one of :data:`PLAN_LAYOUT_CHOICES` and becomes the default for every
     subsequently built plan.  The environment is never mutated, so child
     processes are unaffected.
     """
@@ -400,11 +434,93 @@ def set_default_plan_layout(layout: Optional[str]) -> None:
         _process_plan_layout = None
         return
     layout = layout.strip().lower()
+    if layout not in PLAN_LAYOUT_CHOICES:
+        raise ValueError(
+            f"unknown stencil-plan layout {layout!r}; expected one of {PLAN_LAYOUT_CHOICES}"
+        )
+    _process_plan_layout = layout
+
+
+def _method_taps(method: str) -> int:
+    """Per-axis tap count of *method* (4 for the cubics, 2 for linear)."""
+    weight_fn, _ = _METHOD_STENCILS[method]
+    return len(weight_fn(np.zeros(1)))
+
+
+def projected_stencil_nbytes(num_points: int, method: str, layout: str) -> int:
+    """Projected payload bytes of a stencil plan *before* building it.
+
+    Exactly the ``nbytes`` the corresponding plan class will report — the
+    accounting the auto-layout policy (:mod:`repro.runtime.layout`) decides
+    from, and the pool-sizing numbers of the README's memory table.
+    """
     if layout not in PLAN_LAYOUTS:
         raise ValueError(
             f"unknown stencil-plan layout {layout!r}; expected one of {PLAN_LAYOUTS}"
         )
-    _process_plan_layout = layout
+    num_points = int(num_points)
+    if layout == "fat":
+        taps = _method_taps(method)
+        return (
+            3 * taps * (np.dtype(np.intp).itemsize + np.dtype(np.float64).itemsize) * num_points
+        )
+    if layout == "lean":
+        return 3 * (np.dtype(np.int32).itemsize + np.dtype(np.float64).itemsize) * num_points
+    m = min(num_points, STENCIL_CHUNK)
+    return 3 * m * (np.dtype(np.intp).itemsize + np.dtype(np.float64).itemsize)
+
+
+def resolve_plan_layout(
+    num_points: int,
+    layout: Optional[str] = None,
+    method: str = "catmull_rom",
+    record: bool = True,
+) -> str:
+    """Resolve a layout setting to a concrete storage layout for one plan.
+
+    Explicit concrete layouts pass through untouched; ``None`` reads the
+    active default; ``"auto"`` asks the budget-aware policy
+    (:func:`repro.runtime.layout.select_layout`) with this plan's projected
+    lean bytes against the shared plan pool's budget, and records the
+    decision in the process-wide decision log.
+    """
+    if layout is None:
+        layout = default_plan_layout()
+    if layout not in PLAN_LAYOUT_CHOICES:
+        raise ValueError(
+            f"unknown stencil-plan layout {layout!r}; expected one of {PLAN_LAYOUT_CHOICES}"
+        )
+    if layout != AUTO_PLAN_LAYOUT:
+        return layout
+    from repro.runtime.layout import select_layout
+    from repro.runtime.plan_pool import get_plan_pool
+
+    decision = select_layout(
+        num_points=num_points,
+        projected_lean_bytes=projected_stencil_nbytes(num_points, method, "lean"),
+        budget_bytes=get_plan_pool().max_bytes,
+        record=record,
+    )
+    return decision.layout
+
+
+def plan_layout_cache_token() -> "str | Tuple":
+    """Pool-key element identifying the active layout policy.
+
+    Concrete layout settings are their own token.  Under ``auto`` the token
+    carries the decision inputs (pool budget, threshold fraction) instead of
+    a single resolved layout: different plans of one run may legitimately
+    resolve differently (per-owner scatter stencils have different point
+    counts), and a pooled plan built under one budget must never satisfy a
+    lookup whose auto decision could differ.
+    """
+    layout = default_plan_layout()
+    if layout != AUTO_PLAN_LAYOUT:
+        return layout
+    from repro.runtime.layout import auto_streaming_fraction
+    from repro.runtime.plan_pool import get_plan_pool
+
+    return (AUTO_PLAN_LAYOUT, get_plan_pool().max_bytes, auto_streaming_fraction())
 
 
 def build_stencil_plan(
@@ -428,19 +544,17 @@ def build_stencil_plan(
     method:
         One of :data:`SUPPORTED_METHODS`.
     layout:
-        ``"lean"`` (int32 base + fractional offsets, the default),
-        ``"fat"`` (materialized index parts and weights), ``"streaming"``
+        ``"lean"`` (int32 base + fractional offsets), ``"fat"``
+        (materialized index parts and weights), ``"streaming"``
         (chunk-resident: nothing materialized, ``base``/``frac`` generated
-        per chunk from the coordinates), or ``None`` for the
-        ``REPRO_PLAN_LAYOUT`` environment default.  All layouts gather
-        bitwise identically.
+        per chunk from the coordinates), ``"auto"`` (budget-aware: lean
+        unless this plan's projected lean bytes exceed a fraction of the
+        plan-pool budget, see :mod:`repro.runtime.layout`), or ``None``
+        for the ``REPRO_PLAN_LAYOUT`` default (itself ``auto`` unless
+        overridden).  All layouts gather bitwise identically.
     """
-    if layout is None:
-        layout = default_plan_layout()
-    if layout not in PLAN_LAYOUTS:
-        raise ValueError(
-            f"unknown stencil-plan layout {layout!r}; expected one of {PLAN_LAYOUTS}"
-        )
+    coordinates = np.asarray(coordinates)
+    layout = resolve_plan_layout(coordinates.shape[1], layout, method)
     weight_fn, lead = _METHOD_STENCILS[method]
     taps = len(weight_fn(np.zeros(1)))
     shape = tuple(int(n) for n in shape)
@@ -481,26 +595,140 @@ def _as_flat_float64(fields: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(fields.reshape(fields.shape[0], -1), dtype=np.float64)
 
 
-def _execute_stencil_chunk(
-    flat_fields: np.ndarray, plan: StencilPlanLike, lo: int, hi: int, out: np.ndarray
-) -> None:
-    """Run the tap loop of one point chunk, accumulating into ``out[:, lo:hi]``.
+# --------------------------------------------------------------------------- #
+# field sources (the tiled/out-of-core side of a gather)
+# --------------------------------------------------------------------------- #
+@runtime_checkable
+class FieldSource(Protocol):
+    """Tile provider for out-of-core gathers (the field-side chunk protocol).
 
-    All scratch arrays of the chunk stay in cache while the tap loop runs;
-    chunks write disjoint output slices, so any number of chunks can execute
-    concurrently (and in any order) with bitwise-deterministic results.
+    A field source serves the *field bytes* of a gather the way the stencil
+    plans serve the stencil bytes: on demand, one executor chunk at a time.
+    The unit of loading is an **axis-0 plane tile** — the set of
+    ``(N2, N3)`` planes one chunk's stencil touches — because grid-ordered
+    departure points (the semi-Lagrangian access pattern) keep consecutive
+    chunks inside a narrow plane band, so the resident field bytes are
+    bounded by the tile a chunk needs, never the grid size.
+
+    Implementations: :class:`ArrayFieldSource` wraps an in-memory stack
+    (the executor then only ever *copies* a tile-sized view at a time); a
+    memory-mapped source for on-disk >512^3 volumes plugs in through the
+    same three members without touching the executor.
     """
-    (i0, i1, i2), (w0, w1, w2) = plan.chunk_stencil(lo, hi)
-    taps = plan.taps
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Shape of the (possibly ghost-extended) array being gathered from."""
+        ...
+
+    @property
+    def num_fields(self) -> int:
+        """Batch size ``B`` of the stacked fields this source serves."""
+        ...
+
+    def load_planes(self, planes: np.ndarray) -> np.ndarray:
+        """Materialize the axis-0 planes *planes* as a ``(B, P, N2, N3)`` tile.
+
+        ``planes`` is sorted and unique; the returned tile must be float64
+        (matching the resident executor's upcast) and contiguous.
+        """
+        ...
+
+    def load_all(self) -> np.ndarray:
+        """Materialize the whole ``(B, N1, N2, N3)`` stack (fallback paths).
+
+        Engines that cannot gather from tiles (``map_coordinates``, the
+        global B-spline prefilter) fall back to this; tiled executions never
+        call it.
+        """
+        ...
+
+
+class ArrayFieldSource:
+    """ndarray-backed :class:`FieldSource` with tile accounting.
+
+    Wraps a ``(B, N1, N2, N3)`` stack (a single ``(N1, N2, N3)`` field is
+    promoted to a one-field batch) and serves plane tiles as float64 copies
+    — exactly the values the resident executor's upcast produces, which is
+    what keeps tiled gathers bitwise identical to resident ones.
+
+    The source counts its traffic (``loads``, ``planes_loaded``,
+    ``peak_tile_bytes``): for an in-memory array the backing stack is of
+    course resident anyway, but ``peak_tile_bytes`` is precisely the
+    working set a memory-mapped source would keep in RAM, so the
+    out-of-core memory pins assert on it.
+    """
+
+    def __init__(self, fields: np.ndarray) -> None:
+        fields = np.asarray(fields)
+        if fields.ndim == 3:
+            fields = fields[None]
+        if fields.ndim != 4:
+            raise ValueError(
+                f"fields must be stacked as (B, N1, N2, N3) or a single "
+                f"(N1, N2, N3) field, got shape {fields.shape}"
+            )
+        self._fields = fields
+        self.loads = 0
+        self.planes_loaded = 0
+        self.peak_tile_bytes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self._fields.shape[1:]
+
+    @property
+    def num_fields(self) -> int:
+        return self._fields.shape[0]
+
+    def load_planes(self, planes: np.ndarray) -> np.ndarray:
+        tile = np.ascontiguousarray(self._fields[:, planes], dtype=np.float64)
+        with self._lock:
+            self.loads += 1
+            self.planes_loaded += len(planes)
+            self.peak_tile_bytes = max(self.peak_tile_bytes, tile.nbytes)
+        return tile
+
+    def load_all(self) -> np.ndarray:
+        return np.ascontiguousarray(self._fields, dtype=np.float64)
+
+
+def is_field_source(fields) -> bool:
+    """True when *fields* implements :class:`FieldSource` (tiled dispatch).
+
+    The single source of truth for the tiled/resident dispatch rule used by
+    the executor and every frontend: an ndarray (whose ``shape`` attribute
+    would satisfy a naive protocol check) is always the resident path.
+    """
+    return isinstance(fields, FieldSource) and not isinstance(fields, np.ndarray)
+
+
+def as_field_source(fields: "np.ndarray | FieldSource") -> FieldSource:
+    """Wrap an ndarray stack in an :class:`ArrayFieldSource` (sources pass through)."""
+    if is_field_source(fields):
+        return fields
+    return ArrayFieldSource(fields)
+
+
+def _run_tap_loop(flat_fields, index_parts, weights, taps: int, acc: np.ndarray) -> None:
+    """The tap loop of one point chunk, accumulating into ``acc``.
+
+    This is *the* gather arithmetic: the resident and the tiled executor
+    both run exactly this sequence of operations (tiling only remaps the
+    axis-0 index parts into tile coordinates before calling it), which is
+    what makes tiled gathers bitwise identical to resident ones.
+    """
+    i0, i1, i2 = index_parts
+    w0, w1, w2 = weights
     num_fields = flat_fields.shape[0]
-    m = hi - lo
+    m = acc.shape[1]
     ib = np.empty(m, dtype=np.intp)
     gi = np.empty(m, dtype=np.intp)
     wb = np.empty(m)
     wt = np.empty(m)
     gb = np.empty(m)
     tb = np.empty(m)
-    acc = out[:, lo:hi]
     for a in range(taps):
         ia = i0[a]
         wa = w0[a]
@@ -516,8 +744,50 @@ def _execute_stencil_chunk(
                     acc[f] += tb
 
 
+def _execute_stencil_chunk(
+    flat_fields: np.ndarray, plan: StencilPlanLike, lo: int, hi: int, out: np.ndarray
+) -> None:
+    """Run the tap loop of one point chunk, accumulating into ``out[:, lo:hi]``.
+
+    All scratch arrays of the chunk stay in cache while the tap loop runs;
+    chunks write disjoint output slices, so any number of chunks can execute
+    concurrently (and in any order) with bitwise-deterministic results.
+    """
+    index_parts, weights = plan.chunk_stencil(lo, hi)
+    _run_tap_loop(flat_fields, index_parts, weights, plan.taps, out[:, lo:hi])
+
+
+def _load_chunk_tile(source: FieldSource, plan: StencilPlanLike, lo: int, hi: int):
+    """Load one chunk's plane tile and remap its stencil into tile coordinates.
+
+    The axis-0 index parts already carry the flattened contribution
+    ``plane * N2 * N3``; the planes a chunk touches are their unique
+    quotients, the tile is those planes loaded from the source, and the
+    remap replaces each plane id by its position in the tile (the tile's
+    inner strides equal the field's, so axes 1/2 need no remapping).  The
+    weights and the gathered float64 values are untouched, so the tap loop
+    runs bit-for-bit the resident arithmetic.
+    """
+    (i0, i1, i2), weights = plan.chunk_stencil(lo, hi)
+    stride0 = source.shape[1] * source.shape[2]
+    plane_ids = np.asarray(i0) // stride0
+    planes = np.unique(plane_ids)
+    tile = source.load_planes(planes)
+    flat_tile = tile.reshape(tile.shape[0], -1)
+    i0_tile = np.searchsorted(planes, plane_ids) * stride0
+    return flat_tile, (i0_tile, i1, i2), weights
+
+
+def _execute_tiled_chunk(
+    source: FieldSource, plan: StencilPlanLike, lo: int, hi: int, out: np.ndarray
+) -> None:
+    """Tiled twin of :func:`_execute_stencil_chunk`: load the tile, then gather."""
+    flat_tile, index_parts, weights = _load_chunk_tile(source, plan, lo, hi)
+    _run_tap_loop(flat_tile, index_parts, weights, plan.taps, out[:, lo:hi])
+
+
 def execute_stencil_plan(
-    flat_fields: np.ndarray,
+    flat_fields: "np.ndarray | FieldSource",
     plan: StencilPlanLike,
     chunk: Optional[int] = None,
     workers: Optional[int] = None,
@@ -538,15 +808,26 @@ def execute_stencil_plan(
     coordinates.  All three run the fat build's exact arithmetic, so every
     layout gathers bitwise identically.
 
+    Passing a :class:`FieldSource` instead of a flattened stack runs the
+    executor in **tiled** mode: the field is never required resident — each
+    chunk loads only the axis-0 plane tile its stencil touches
+    (:func:`_load_chunk_tile`) and gathers from it with remapped indices.
+    Resident field bytes are then bounded by the tile/chunk sizes instead
+    of the grid size (the out-of-core story for the fields, matching what
+    the streaming layout does for the stencils), and the gathered bits are
+    identical to the resident path on every layout.
+
     The chunks are embarrassingly parallel (disjoint output slices) and are
     dispatched to the shared runtime thread pool when *workers* — resolved
     through :func:`repro.runtime.workers.resolve_workers` under the
     ``REPRO_INTERP_WORKERS`` / ``REPRO_WORKERS`` policy — exceeds one.  The
-    result is bitwise independent of both the worker count and the chunk
-    size.
+    result is bitwise independent of the worker count, the chunk size and
+    the tiled/resident mode.
     """
-    num_fields, num_points = flat_fields.shape[0], plan.num_points
-    out = np.zeros((num_fields, num_points))
+    tiled = is_field_source(flat_fields)
+    num_fields = flat_fields.num_fields if tiled else flat_fields.shape[0]
+    run_chunk = _execute_tiled_chunk if tiled else _execute_stencil_chunk
+    out = np.zeros((num_fields, plan.num_points))
     spans = plan.iter_chunks(chunk)
     if workers is None:
         workers = resolve_workers("interp")
@@ -554,13 +835,13 @@ def execute_stencil_plan(
         executor = get_executor(workers)
         list(
             executor.map(
-                lambda span: _execute_stencil_chunk(flat_fields, plan, span[0], span[1], out),
+                lambda span: run_chunk(flat_fields, plan, span[0], span[1], out),
                 spans,
             )
         )
     else:
         for lo, hi in spans:
-            _execute_stencil_chunk(flat_fields, plan, lo, hi, out)
+            run_chunk(flat_fields, plan, lo, hi, out)
     return out
 
 
@@ -688,14 +969,22 @@ class ScipyInterpolationBackend:
 
     def gather(
         self,
-        fields: np.ndarray,
+        fields: "np.ndarray | FieldSource",
         coordinates: np.ndarray,
         payload: Optional[StencilPlanLike],
         method: str,
     ) -> np.ndarray:
         if method == "catmull_rom":
-            plan = payload or build_stencil_plan(fields.shape[-3:], coordinates, method)
-            return execute_stencil_plan(_as_flat_float64(fields), plan)
+            if isinstance(fields, np.ndarray):
+                plan = payload or build_stencil_plan(fields.shape[-3:], coordinates, method)
+                return execute_stencil_plan(_as_flat_float64(fields), plan)
+            # tiled mode: gather straight from the source's plane tiles
+            plan = payload or build_stencil_plan(fields.shape, coordinates, method)
+            return execute_stencil_plan(fields, plan)
+        if not isinstance(fields, np.ndarray):
+            # map_coordinates evaluates prefilter + weights inside one C
+            # call and cannot gather from tiles; materialize the stack
+            fields = fields.load_all()
         order = self._ORDERS[method]
         return np.stack(
             [
@@ -736,15 +1025,33 @@ class NumpyInterpolationBackend:
             fields = periodic_bspline_prefilter(fields)
         return _as_flat_float64(fields)
 
+    def _prepare_source(self, fields: "np.ndarray | FieldSource", method: str):
+        """Executor input for *fields*: flat stack (resident) or source (tiled).
+
+        ``cubic_bspline`` gathers from *prefiltered coefficients*, and the
+        prefilter is a global Fourier solve — the coefficient stack must be
+        materialized once per batch regardless of tiling (the per-field cost
+        no plan can avoid).  The gather itself still runs tiled over the
+        coefficient source, so the executor-side working set stays
+        tile-bounded; fully out-of-core transport uses ``catmull_rom``
+        (the paper's distributed kernel), which needs no prefilter.
+        """
+        if isinstance(fields, np.ndarray):
+            return self._prepare(fields, method)
+        if method == "cubic_bspline":
+            return ArrayFieldSource(periodic_bspline_prefilter(fields.load_all()))
+        return fields
+
     def gather(
         self,
-        fields: np.ndarray,
+        fields: "np.ndarray | FieldSource",
         coordinates: np.ndarray,
         payload: Optional[StencilPlanLike],
         method: str,
     ) -> np.ndarray:
-        plan = payload or build_stencil_plan(fields.shape[-3:], coordinates, method)
-        return execute_stencil_plan(self._prepare(fields, method), plan)
+        shape = fields.shape[-3:] if isinstance(fields, np.ndarray) else fields.shape
+        plan = payload or build_stencil_plan(shape, coordinates, method)
+        return execute_stencil_plan(self._prepare_source(fields, method), plan)
 
 
 class NumbaInterpolationBackend(NumpyInterpolationBackend):
@@ -793,13 +1100,27 @@ class NumbaInterpolationBackend(NumpyInterpolationBackend):
 
     def gather(
         self,
-        fields: np.ndarray,
+        fields: "np.ndarray | FieldSource",
         coordinates: np.ndarray,
         payload: Optional[StencilPlanLike],
         method: str,
     ) -> np.ndarray:
-        plan = payload or build_stencil_plan(fields.shape[-3:], coordinates, method)
-        flat = self._prepare(fields, method)
+        shape = fields.shape[-3:] if isinstance(fields, np.ndarray) else fields.shape
+        plan = payload or build_stencil_plan(shape, coordinates, method)
+        prepared = self._prepare_source(fields, method)
+        if not isinstance(prepared, np.ndarray):
+            # tiled mode: per chunk, load the plane tile and hand the
+            # remapped stencil to the JIT kernel (disjoint output slices);
+            # the per-point tap arithmetic is identical to the resident
+            # path, so tiled numba gathers are bitwise unchanged too
+            out = np.zeros((prepared.num_fields, plan.num_points))
+            for lo, hi in plan.iter_chunks():
+                flat_tile, (i0, i1, i2), (w0, w1, w2) = _load_chunk_tile(
+                    prepared, plan, lo, hi
+                )
+                self._kernel(flat_tile, i0, i1, i2, w0, w1, w2, out[:, lo:hi])
+            return out
+        flat = prepared
         out = np.zeros((flat.shape[0], plan.num_points))
         if isinstance(plan, StencilPlan):
             i0, i1, i2 = plan.index_parts
@@ -848,8 +1169,20 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def default_backend_name() -> str:
-    """Backend selected by ``REPRO_INTERP_BACKEND`` or the ``"scipy"`` default."""
-    return os.environ.get(BACKEND_ENV_VAR, DEFAULT_BACKEND).strip().lower() or DEFAULT_BACKEND
+    """Backend selected by ``REPRO_INTERP_BACKEND`` or the ``"scipy"`` default.
+
+    A name the registry does not know is rejected here with the valid
+    choices and the variable that carried it — an environment typo must
+    produce a clear error, never silently select something else.
+    """
+    raw = os.environ.get(BACKEND_ENV_VAR, DEFAULT_BACKEND)
+    name = raw.strip().lower() or DEFAULT_BACKEND
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"{BACKEND_ENV_VAR}={raw!r} is not a registered interpolation "
+            f"backend; valid choices: {registered_backends()}"
+        )
+    return name
 
 
 def get_backend(spec: "str | InterpolationBackend | None" = None) -> InterpolationBackend:

@@ -52,7 +52,12 @@ import numpy as np
 from repro.runtime.plan_pool import array_fingerprint, get_plan_pool
 from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
-from repro.transport.kernels import GatherPlan, default_plan_layout
+from repro.transport.kernels import (
+    FieldSource,
+    GatherPlan,
+    is_field_source,
+    plan_layout_cache_token,
+)
 from repro.utils.validation import check_velocity_shape
 
 
@@ -168,9 +173,12 @@ class SemiLagrangianStepper:
     def _pool_key(self) -> Tuple:
         """Content key of this stepper's planning data in the shared pool.
 
-        The stencil-plan layout is part of the content: a pooled lean plan
-        must never satisfy a lookup made under ``REPRO_PLAN_LAYOUT=streaming``
-        (they gather identically, but their memory accounting differs).
+        The stencil-plan layout policy is part of the content: a pooled lean
+        plan must never satisfy a lookup made under
+        ``REPRO_PLAN_LAYOUT=streaming`` (they gather identically, but their
+        memory accounting differs).  Under the ``auto`` policy the token
+        carries the decision inputs (pool budget, threshold fraction), so a
+        budget change re-keys the plans whose auto decision could flip.
         """
         return (
             "semi-lagrangian-departure",
@@ -178,7 +186,7 @@ class SemiLagrangianStepper:
             float(self.dt),
             self.interpolator.method,
             self.interpolator.backend_name,
-            default_plan_layout(),
+            plan_layout_cache_token(),
             array_fingerprint(self.velocity),
         )
 
@@ -199,8 +207,15 @@ class SemiLagrangianStepper:
         """Interpolate a grid field at the cached departure points."""
         return self.interpolator.interpolate_planned(field, self.departure_plan)
 
-    def interpolate_many_at_departure(self, fields: np.ndarray) -> np.ndarray:
-        """Batched interpolation of a ``(B, N1, N2, N3)`` stack at the plan."""
+    def interpolate_many_at_departure(
+        self, fields: "np.ndarray | FieldSource"
+    ) -> np.ndarray:
+        """Batched interpolation of a ``(B, N1, N2, N3)`` stack at the plan.
+
+        A :class:`~repro.transport.kernels.FieldSource` runs the gather in
+        tiled (out-of-core) mode with bitwise-identical values — the entry
+        point for fields too large to hold resident.
+        """
         return self.interpolator.interpolate_many_planned(fields, self.departure_plan)
 
     def step(
@@ -274,7 +289,18 @@ class SemiLagrangianStepper:
         the shared departure points in a *single* gather pass through the
         cached plan (e.g. the three displacement components and the three
         velocity components of the deformation-map transport).
+
+        For a pure advection (no sources) *fields* may also be a
+        :class:`~repro.transport.kernels.FieldSource`: the step then runs a
+        tiled gather (the out-of-core path) with bitwise-identical values.
         """
+        if is_field_source(fields):
+            if sources_old is not None or sources_new is not None:
+                raise ValueError(
+                    "tiled step_many only supports pure advection "
+                    "(sources must be None when fields is a FieldSource)"
+                )
+            return self.interpolate_many_at_departure(fields)
         fields = np.asarray(fields)
         if sources_old is None and sources_new is None:
             return self.interpolate_many_at_departure(fields)

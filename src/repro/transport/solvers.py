@@ -187,6 +187,25 @@ class TransportSolver:
             history[j + 1] = plan.forward_stepper.step(history[j])
         return history
 
+    def solve_state_final(self, plan: TransportPlan, rho0: np.ndarray) -> np.ndarray:
+        """Transport the template forward, keeping only the final state.
+
+        The objective evaluation (and the CLI's deformed template) only
+        need ``rho(., 1)``, not the ``(nt + 1)``-level history — at 256^3
+        the history is 0.7 GB of dead weight per trial velocity of the line
+        search.  This runs the identical steps on a two-level rotation
+        (interpolation counters and bits match ``solve_state(...)[nt]``
+        exactly), bounding the state memory at one field regardless of
+        ``nt``.
+        """
+        rho0 = np.asarray(rho0, dtype=self.grid.dtype)
+        if rho0.shape != self.grid.shape:
+            raise ValueError(f"rho0 has shape {rho0.shape}, expected {self.grid.shape}")
+        nu = rho0
+        for _ in range(plan.num_time_steps):
+            nu = plan.forward_stepper.step(nu)
+        return nu
+
     # ------------------------------------------------------------------ #
     # adjoint equation (Eq. 3)
     # ------------------------------------------------------------------ #

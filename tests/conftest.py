@@ -18,9 +18,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.runtime.layout import layout_decision_log
 from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
+from repro.transport.kernels import set_default_plan_layout
 
 from tests.fixtures import make_grid, smooth_scalar_field, smooth_velocity_field
 
@@ -40,11 +42,18 @@ def _fresh_plan_pool():
     test is a warm hit in the next, so hit/miss/byte assertions (and any
     test run in isolation vs. in-suite) would depend on execution order.
     Entries and statistics are dropped; the byte budget (which the pressure
-    CI leg sets via ``REPRO_PLAN_POOL_BYTES``) is left untouched.
+    CI leg sets via ``REPRO_PLAN_POOL_BYTES``) is left untouched.  The
+    process-wide layout override (the CLI's ``--plan-layout`` path) and the
+    auto-layout decision log are reset for the same reason: both are shared
+    state a test may set.
     """
     reset_plan_pool()
+    set_default_plan_layout(None)
+    layout_decision_log().reset()
     yield
     reset_plan_pool()
+    set_default_plan_layout(None)
+    layout_decision_log().reset()
 
 
 @pytest.fixture()

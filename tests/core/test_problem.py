@@ -55,6 +55,18 @@ class TestConstruction:
         assert summary["grid"] == (12, 12, 12)
         assert summary["num_unknowns_velocity"] == 3 * 12**3
         assert summary["gauss_newton"] is True
+        # the layout policy is surfaced: the setting and its resolution for
+        # this grid (12^3 under the default budget resolves to lean)
+        assert summary["plan_layout"] in ("auto", "lean", "fat", "streaming")
+        assert summary["plan_layout_resolved"] in ("lean", "fat", "streaming")
+
+    def test_objective_matches_linearize_objective(self, problem12):
+        """evaluate_objective (history-free) == linearize's objective parts."""
+        velocity = 0.3 * smooth_vector_field(problem12.grid, seed=2)
+        objective = problem12.evaluate_objective(velocity)
+        iterate = problem12.linearize(velocity)
+        assert objective.distance == iterate.objective.distance
+        assert objective.regularization == iterate.objective.regularization
 
     def test_set_beta_updates_regularizer(self, problem12):
         problem12.set_beta(1e-3)

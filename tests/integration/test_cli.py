@@ -158,7 +158,56 @@ class TestRegisterCommand:
             assert PLAN_LAYOUT_ENV_VAR not in os.environ
         finally:
             set_default_plan_layout(None)
-        assert default_plan_layout() == "lean"
+        assert default_plan_layout() == "auto"
+
+    def test_plan_layout_auto_flag_accepted(self, capsys):
+        from repro.transport.kernels import set_default_plan_layout
+
+        try:
+            code = main(
+                [
+                    "register",
+                    "--synthetic", "12",
+                    "--plan-layout", "auto",
+                    "--max-newton", "2",
+                    "--max-krylov", "4",
+                ]
+            )
+            assert code == 0
+            assert "Registration summary" in capsys.readouterr().out
+        finally:
+            set_default_plan_layout(None)
+
+    def test_malformed_plan_layout_env_is_a_clean_error(self, capsys, monkeypatch):
+        from repro.transport.kernels import PLAN_LAYOUT_ENV_VAR
+
+        monkeypatch.setenv(PLAN_LAYOUT_ENV_VAR, "leann")
+        assert main(["register", "--synthetic", "12"]) == 2
+        err = capsys.readouterr().err
+        assert PLAN_LAYOUT_ENV_VAR in err and "streaming" in err
+
+    def test_malformed_auto_fraction_env_is_a_clean_error(self, capsys, monkeypatch):
+        from repro.runtime import AUTO_FRACTION_ENV_VAR
+
+        monkeypatch.setenv(AUTO_FRACTION_ENV_VAR, "2.0")
+        assert main(["register", "--synthetic", "12"]) == 2
+        assert AUTO_FRACTION_ENV_VAR in capsys.readouterr().err
+
+    def test_malformed_interp_backend_env_is_a_clean_error(self, capsys, monkeypatch):
+        from repro.transport.kernels import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpyy")
+        assert main(["register", "--synthetic", "12"]) == 2
+        err = capsys.readouterr().err
+        assert BACKEND_ENV_VAR in err and "scipy" in err
+
+    def test_malformed_fft_backend_env_is_a_clean_error(self, capsys, monkeypatch):
+        from repro.spectral.backends import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fftw3")
+        assert main(["register", "--synthetic", "12"]) == 2
+        err = capsys.readouterr().err
+        assert BACKEND_ENV_VAR in err and "numpy" in err
 
     def test_negative_plan_pool_budget_is_a_clean_error(self, capsys):
         code = main(

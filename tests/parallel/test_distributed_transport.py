@@ -102,6 +102,31 @@ class TestDistributedSemiLagrangian:
         assert rebuilt.plan_pool_hits == 0
         assert rebuilt.departure_plan.stencil_builds > 0
 
+    def test_rk2_velocity_components_share_one_exchange_round(self, grid, velocity):
+        """Constructing the stepper interpolates all three components of
+        v(X*) through one batched round trip: 4 ghost-exchange calls (2
+        axes x 2 directions) and one value return, not one round each."""
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        comm = SimulatedCommunicator(deco.num_tasks)
+        DistributedSemiLagrangian(grid, deco, velocity, dt=0.25, comm=comm)
+        summary = comm.ledger.summary()
+        assert summary["ghost_exchange"]["calls"] == 4
+        assert summary["interp_return"]["calls"] == 1
+
+    def test_step_many_matches_per_field_steps(self, grid, velocity):
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        stepper = DistributedSemiLagrangian(grid, deco, velocity, dt=0.25)
+        fields = [smooth_scalar_field(grid, seed=s) for s in (3, 4, 5)]
+        per_field = [stepper.step(deco.scatter(field)) for field in fields]
+        stacks = [
+            np.stack([deco.scatter(field)[rank] for field in fields], axis=0)
+            for rank in range(deco.num_tasks)
+        ]
+        batched = stepper.step_many(stacks)
+        for rank in range(deco.num_tasks):
+            for b in range(3):
+                np.testing.assert_array_equal(batched[rank][b], per_field[b][rank])
+
 
 class TestDistributedTransportSolver:
     @pytest.mark.parametrize("pgrid", [(2, 2), (1, 3)])
@@ -127,6 +152,26 @@ class TestDistributedTransportSolver:
         assert summary["interp_scatter"]["bytes"] > 0
         assert summary["interp_return"]["bytes"] > 0
         assert summary["ghost_exchange"]["bytes"] > 0
+
+    def test_solve_state_many_matches_per_template_solves(self):
+        grid = Grid((12, 12, 12))
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        velocity = 0.4 * smooth_vector_field(grid, seed=6)
+        templates = np.stack([smooth_scalar_field(grid, seed=s) for s in (7, 8)])
+        solver = DistributedTransportSolver(grid, deco, num_time_steps=3)
+        batched = solver.solve_state_many(velocity, templates)
+        for b in range(2):
+            expected = DistributedTransportSolver(grid, deco, num_time_steps=3).solve_state(
+                velocity, templates[b]
+            )
+            np.testing.assert_array_equal(batched[b], expected)
+
+    def test_solve_state_many_validates_stack(self):
+        grid = Grid((12, 12, 12))
+        deco = PencilDecomposition(grid.shape, 2, 2)
+        solver = DistributedTransportSolver(grid, deco)
+        with pytest.raises(ValueError, match="stacked"):
+            solver.solve_state_many(grid.zeros_vector(), np.zeros(grid.shape))
 
     def test_template_shape_validated(self):
         grid = Grid((12, 12, 12))

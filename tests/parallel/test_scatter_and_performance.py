@@ -139,6 +139,71 @@ class TestScatterInterpolation:
             plan.interpolate([np.zeros((6, 6, 12))] * 3)
 
 
+class TestBatchedScatterInterpolation:
+    """The PR-5 distributed pin: one ghost round / one return per batch."""
+
+    def test_batched_matches_per_field_bitwise(self, grid, rng):
+        deco, comm, points, plan = make_scatter_plan(grid, (2, 3), seed=21)
+        fields = np.stack([rng.standard_normal(grid.shape) for _ in range(4)])
+        per_field = [plan.interpolate(deco.scatter(field)) for field in fields]
+        batched = plan.interpolate_many_global(fields)
+        for rank in range(deco.num_tasks):
+            assert batched[rank].shape == (4, points[rank].shape[1])
+            for b in range(4):
+                np.testing.assert_array_equal(batched[rank][b], per_field[b][rank])
+
+    def test_exactly_one_exchange_round_per_batch(self, grid, rng):
+        """The ledger byte-accounting pin: a stacked batch performs exactly
+        one ghost-exchange round and one return alltoallv — the message
+        counts of a single field, with B times the payload."""
+        batch = 3
+        field = rng.standard_normal(grid.shape)
+        deco, scalar_comm, points, scalar_plan = make_scatter_plan(grid, (2, 2), seed=22)
+        scalar_comm.ledger.reset()  # drop the construction traffic
+        scalar_plan.interpolate(deco.scatter(field))
+        scalar = scalar_comm.ledger.summary()
+
+        _, batched_comm, _, batched_plan = make_scatter_plan(grid, (2, 2), seed=22)
+        batched_comm.ledger.reset()
+        batched_plan.interpolate_many_global(np.repeat(field[None], batch, axis=0))
+        batched = batched_comm.ledger.summary()
+
+        for category in ("ghost_exchange", "interp_return"):
+            assert batched[category]["calls"] == scalar[category]["calls"]
+            assert batched[category]["messages"] == scalar[category]["messages"]
+            assert batched[category]["bytes"] == batch * scalar[category]["bytes"]
+        assert batched["interp_return"]["calls"] == 1
+        assert batched["ghost_exchange"]["calls"] == 4  # 2 axes x 2 directions
+        # no other traffic: the batch reused the cached plan end to end
+        assert set(batched) == {"ghost_exchange", "interp_return"}
+
+    def test_scalar_interpolate_is_the_batch_one_case(self, grid, rng):
+        deco, comm, points, plan = make_scatter_plan(grid, (1, 3), seed=23)
+        field = rng.standard_normal(grid.shape)
+        scalar = plan.interpolate(deco.scatter(field))
+        batched = plan.interpolate_many_global(field[None])
+        for rank in range(deco.num_tasks):
+            np.testing.assert_array_equal(batched[rank][0], scalar[rank])
+
+    def test_batched_matches_serial_interpolate_many(self, grid, rng):
+        deco, comm, points, plan = make_scatter_plan(grid, (2, 2), seed=24)
+        fields = np.stack([rng.standard_normal(grid.shape) for _ in range(3)])
+        batched = plan.interpolate_many_global(fields)
+        serial = PeriodicInterpolator(grid, "catmull_rom")
+        for rank in range(deco.num_tasks):
+            expected = serial.interpolate_many(fields, points[rank])
+            np.testing.assert_allclose(batched[rank], expected, atol=1e-10)
+
+    def test_input_validation(self, grid):
+        deco, comm, points, plan = make_scatter_plan(grid, (2, 2), seed=25)
+        with pytest.raises(ValueError, match="block stacks"):
+            plan.interpolate_many([np.zeros((1, 6, 6, 12))] * 3)
+        with pytest.raises(ValueError, match="must be"):
+            plan.interpolate_many([np.zeros((6, 6, 12))] * 4)
+        with pytest.raises(ValueError, match="stacked"):
+            plan.interpolate_many_global(np.zeros(grid.shape))
+
+
 class TestMachines:
     def test_lookup(self):
         assert get_machine("maverick") is MAVERICK

@@ -1,0 +1,151 @@
+"""Tests for the budget-aware auto layout policy (repro.runtime.layout)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.layout import (
+    AUTO_FRACTION_ENV_VAR,
+    DEFAULT_AUTO_FRACTION,
+    auto_streaming_fraction,
+    layout_decision_log,
+    select_layout,
+)
+from repro.runtime.plan_pool import configure_plan_pool
+from repro.transport.kernels import (
+    LeanStencilPlan,
+    StreamingStencilPlan,
+    build_stencil_plan,
+    plan_layout_cache_token,
+    projected_stencil_nbytes,
+    resolve_plan_layout,
+    set_default_plan_layout,
+)
+
+from tests.fixtures import random_points
+
+
+@pytest.fixture()
+def restore_pool_budget():
+    yield
+    configure_plan_pool(None)  # re-read the environment default
+
+
+class TestSelectLayoutPolicy:
+    def test_streaming_when_lean_exceeds_budget_fraction(self):
+        decision = select_layout(
+            num_points=1000, projected_lean_bytes=36_000, budget_bytes=50_000, fraction=0.5
+        )
+        assert decision.layout == "streaming"
+        assert "exceed" in decision.reason
+
+    def test_lean_when_projection_fits(self):
+        decision = select_layout(
+            num_points=1000, projected_lean_bytes=36_000, budget_bytes=100_000, fraction=0.5
+        )
+        assert decision.layout == "lean"
+
+    def test_threshold_boundary_is_exclusive(self):
+        # exactly fraction * budget still fits; one byte more streams
+        at = select_layout(1, projected_lean_bytes=500, budget_bytes=1000, fraction=0.5)
+        over = select_layout(1, projected_lean_bytes=501, budget_bytes=1000, fraction=0.5)
+        assert at.layout == "lean"
+        assert over.layout == "streaming"
+
+    def test_disabled_pool_keeps_lean(self):
+        # budget 0 disables pooling: there is no byte budget to respect
+        decision = select_layout(10**9, projected_lean_bytes=36 * 10**9, budget_bytes=0)
+        assert decision.layout == "lean"
+        assert "disabled" in decision.reason
+
+    def test_fraction_env_override_and_validation(self, monkeypatch):
+        monkeypatch.delenv(AUTO_FRACTION_ENV_VAR, raising=False)
+        assert auto_streaming_fraction() == DEFAULT_AUTO_FRACTION
+        monkeypatch.setenv(AUTO_FRACTION_ENV_VAR, "0.25")
+        assert auto_streaming_fraction() == 0.25
+        assert select_layout(1, 300, 1000).layout == "streaming"  # > 0.25 * 1000
+        for bad in ("half", "0", "-0.5", "1.5"):
+            monkeypatch.setenv(AUTO_FRACTION_ENV_VAR, bad)
+            with pytest.raises(ValueError, match=AUTO_FRACTION_ENV_VAR):
+                auto_streaming_fraction()
+
+    def test_decisions_are_logged_with_inputs(self):
+        log = layout_decision_log()
+        assert log.total == 0  # the autouse fixture resets the log
+        select_layout(100, 3600, 1000, fraction=0.5)
+        select_layout(5, 180, 10**9, fraction=0.5)
+        assert log.total == 2
+        assert log.counts() == {"lean": 1, "streaming": 1}
+        last = log.recent()[-1]
+        assert last.layout == "lean"
+        assert last.num_points == 5
+        assert last.budget_bytes == 10**9
+        select_layout(7, 1, 1, record=False)  # diagnostic query: not logged
+        assert log.total == 2
+        log.reset()
+        assert log.total == 0 and log.counts() == {}
+
+
+class TestAutoLayoutIntegration:
+    """The acceptance pin: ``auto`` picks streaming/lean by pool budget."""
+
+    POINTS = 4096  # projected lean bytes: 4096 * 36 = 147456
+
+    def _build(self):
+        coords = random_points(self.POINTS, seed=3, low=0.0, high=12.0)
+        return build_stencil_plan((12, 12, 12), coords, "catmull_rom", layout="auto")
+
+    def test_small_budget_streams(self, restore_pool_budget):
+        lean_bytes = projected_stencil_nbytes(self.POINTS, "catmull_rom", "lean")
+        configure_plan_pool(int(lean_bytes / DEFAULT_AUTO_FRACTION) - 1)
+        assert resolve_plan_layout(self.POINTS, layout="auto") == "streaming"
+        assert isinstance(self._build(), StreamingStencilPlan)
+
+    def test_large_budget_stays_lean(self, restore_pool_budget):
+        lean_bytes = projected_stencil_nbytes(self.POINTS, "catmull_rom", "lean")
+        configure_plan_pool(int(lean_bytes / DEFAULT_AUTO_FRACTION) + 1)
+        assert resolve_plan_layout(self.POINTS, layout="auto") == "lean"
+        assert isinstance(self._build(), LeanStencilPlan)
+
+    def test_auto_builds_gather_bitwise_like_explicit(self, restore_pool_budget):
+        rng = np.random.default_rng(7)
+        field = rng.standard_normal((12, 12, 12)).reshape(1, -1)
+        coords = random_points(self.POINTS, seed=3, low=0.0, high=12.0)
+        from repro.transport.kernels import execute_stencil_plan
+
+        reference = execute_stencil_plan(
+            field, build_stencil_plan((12, 12, 12), coords, "catmull_rom", layout="fat")
+        )
+        for budget in (1, 10**9):  # streaming and lean resolutions
+            configure_plan_pool(budget)
+            plan = build_stencil_plan((12, 12, 12), coords, "catmull_rom", layout="auto")
+            np.testing.assert_array_equal(execute_stencil_plan(field, plan), reference)
+
+    def test_explicit_layouts_opt_out_of_the_policy(self, restore_pool_budget):
+        configure_plan_pool(1)  # a budget that would force streaming
+        coords = random_points(64, seed=5, low=0.0, high=12.0)
+        plan = build_stencil_plan((12, 12, 12), coords, "catmull_rom", layout="lean")
+        assert isinstance(plan, LeanStencilPlan)
+        assert layout_decision_log().total == 0  # the policy was never asked
+
+
+class TestCacheToken:
+    def test_concrete_layout_is_its_own_token(self):
+        set_default_plan_layout("streaming")
+        assert plan_layout_cache_token() == "streaming"
+
+    def test_auto_token_carries_budget_and_fraction(self, restore_pool_budget):
+        set_default_plan_layout("auto")
+        configure_plan_pool(1000)
+        token_small = plan_layout_cache_token()
+        configure_plan_pool(2000)
+        token_large = plan_layout_cache_token()
+        assert token_small[0] == "auto"
+        assert token_small != token_large  # budget changes re-key pooled plans
+
+    def test_projection_matches_built_plan_nbytes(self):
+        coords = random_points(1500, seed=9, low=0.0, high=12.0)
+        for layout in ("fat", "lean", "streaming"):
+            plan = build_stencil_plan((12, 12, 12), coords, "catmull_rom", layout=layout)
+            assert projected_stencil_nbytes(1500, "catmull_rom", layout) == plan.nbytes
+        linear = build_stencil_plan((12, 12, 12), coords, "linear", layout="fat")
+        assert projected_stencil_nbytes(1500, "linear", "fat") == linear.nbytes

@@ -67,6 +67,15 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown FFT backend"):
             get_backend("not-a-backend")
 
+    def test_malformed_env_backend_is_a_clear_error(self, monkeypatch):
+        """An env typo names the variable and lists the registered backends."""
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numppy")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR) as excinfo:
+            default_backend_name()
+        assert "numpy" in str(excinfo.value) and "scipy" in str(excinfo.value)
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            get_backend(None)  # the env path of every consumer
+
     def test_instances_are_singletons(self, backend_name):
         assert get_backend(backend_name) is get_backend(backend_name)
 

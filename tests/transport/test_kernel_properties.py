@@ -16,9 +16,12 @@ from repro.transport.kernels import (
     PLAN_LAYOUTS,
     SUPPORTED_METHODS,
     STENCIL_CHUNK,
+    ArrayFieldSource,
     StreamingStencilPlan,
+    available_backends,
     build_stencil_plan,
     execute_stencil_plan,
+    get_backend,
 )
 
 SHAPE = (8, 10, 9)
@@ -79,6 +82,63 @@ class TestGatherBitwiseInvariance:
             flat, build_stencil_plan(block.shape, coords, method, periodic=False, layout=layout)
         )
         np.testing.assert_array_equal(candidate, reference)
+
+
+class TestTiledGatherInvariance:
+    """The PR-5 pin: tiling is invisible in the bits, on every backend."""
+
+    @given(
+        layout=st.sampled_from(PLAN_LAYOUTS),
+        method=st.sampled_from(SUPPORTED_METHODS),
+        tiled=st.booleans(),
+        backend=st.sampled_from(available_backends()),
+        num_points=st.integers(1, 500),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_layout_tiling_backend_never_change_the_bits(
+        self, layout, method, tiled, backend, num_points, seed
+    ):
+        """Random layout x tiled/resident x gather engine: every combination
+        produces the bits of that engine's resident fat-plan gather."""
+        engine = get_backend(backend)
+        fields = _field_stack(seed).reshape(2, *SHAPE)
+        coords = _coords(seed, num_points)
+        ref_payload = (
+            build_stencil_plan(SHAPE, coords, method, layout="fat")
+            if engine.supports_plan(method)
+            else None
+        )
+        reference = engine.gather(fields, coords, ref_payload, method)
+        payload = (
+            build_stencil_plan(SHAPE, coords, method, layout=layout)
+            if engine.supports_plan(method)
+            else None
+        )
+        candidate_fields = ArrayFieldSource(fields) if tiled else fields
+        candidate = engine.gather(candidate_fields, coords, payload, method)
+        np.testing.assert_array_equal(candidate, reference)
+
+    @given(
+        layout=st.sampled_from(PLAN_LAYOUTS),
+        method=st.sampled_from(SUPPORTED_METHODS),
+        chunk=st.integers(1, 700),
+        num_points=st.integers(1, 500),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tiled_executor_matches_resident_across_chunks(
+        self, layout, method, chunk, num_points, seed
+    ):
+        """The executor-level sweep: tiled == resident for every layout and
+        chunk size (the tile set changes with the chunking; the bits don't)."""
+        flat = _field_stack(seed)
+        coords = _coords(seed, num_points)
+        plan = build_stencil_plan(SHAPE, coords, method, layout=layout)
+        resident = execute_stencil_plan(flat, plan, chunk=chunk)
+        source = ArrayFieldSource(flat.reshape(2, *SHAPE))
+        tiled = execute_stencil_plan(source, plan, chunk=chunk)
+        np.testing.assert_array_equal(tiled, resident)
 
 
 class TestChunkProtocolProperties:

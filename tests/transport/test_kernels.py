@@ -10,6 +10,7 @@ from repro.spectral.grid import Grid
 from repro.transport.interpolation import PeriodicInterpolator
 from repro.transport.kernels import (
     BACKEND_ENV_VAR,
+    PLAN_LAYOUT_CHOICES,
     PLAN_LAYOUT_ENV_VAR,
     PLAN_LAYOUTS,
     STENCIL_CHUNK,
@@ -28,6 +29,7 @@ from repro.transport.kernels import (
     periodic_bspline_prefilter,
     register_backend,
     registered_backends,
+    resolve_plan_layout,
     set_default_plan_layout,
 )
 
@@ -88,6 +90,15 @@ class TestRegistry:
             pytest.skip("numba is installed; unavailability path not testable")
         with pytest.raises(BackendUnavailableError, match="numba"):
             get_backend("numba")
+
+    def test_malformed_env_backend_is_a_clear_error(self, monkeypatch):
+        """An env typo names the variable and lists the registered backends."""
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scippy")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR) as excinfo:
+            default_backend_name()
+        assert "scipy" in str(excinfo.value) and "numpy" in str(excinfo.value)
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            get_backend(None)  # the env path of every consumer
 
     def test_register_backend_hook(self, grid, field, points):
         class EchoBackend:
@@ -228,11 +239,22 @@ class TestCounterParity:
 class TestLeanStencilPlans:
     """The memory-lean plan layout: bitwise identity + the ~4x memory cut."""
 
-    def test_default_layout_is_lean(self, monkeypatch):
+    def test_default_layout_is_auto_resolving_to_lean(self, monkeypatch):
         monkeypatch.delenv(PLAN_LAYOUT_ENV_VAR, raising=False)
-        assert default_plan_layout() == "lean"
+        # the default *setting* is the budget-aware auto policy, which
+        # resolves to the lean layout at laptop-scale point counts
+        assert default_plan_layout() == "auto"
+        assert resolve_plan_layout(16**3) == "lean"
         monkeypatch.setenv(PLAN_LAYOUT_ENV_VAR, "fat")
         assert default_plan_layout() == "fat"
+
+    def test_malformed_layout_env_is_a_clear_error(self, monkeypatch):
+        monkeypatch.setenv(PLAN_LAYOUT_ENV_VAR, "leann")
+        with pytest.raises(ValueError, match="REPRO_PLAN_LAYOUT") as excinfo:
+            default_plan_layout()
+        # the error lists the valid choices instead of falling through
+        for choice in PLAN_LAYOUT_CHOICES:
+            assert choice in str(excinfo.value)
 
     def test_unknown_layout_rejected(self, grid, points):
         with pytest.raises(ValueError, match="unknown stencil-plan layout"):

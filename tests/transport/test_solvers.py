@@ -76,6 +76,23 @@ class TestStateEquation:
         with pytest.raises(ValueError):
             solver.solve_state(solver.plan(grid.zeros_vector()), np.zeros((4, 4, 4)))
 
+    def test_solve_state_final_matches_history_end(self, grid, solver, rng):
+        """The history-free path: same steps, same bits, same counters."""
+        rho0 = rng.standard_normal(grid.shape)
+        plan = solver.plan(0.1 * smooth_vector_field(grid))
+        start = solver.interpolator.points_interpolated
+        history = solver.solve_state(plan, rho0)
+        after_history = solver.interpolator.points_interpolated
+        final = solver.solve_state_final(plan, rho0)
+        after_final = solver.interpolator.points_interpolated
+        np.testing.assert_array_equal(final, history[-1])
+        # identical interpolation work as one full solve_state
+        assert after_final - after_history == after_history - start
+
+    def test_solve_state_final_shape_validated(self, grid, solver):
+        with pytest.raises(ValueError):
+            solver.solve_state_final(solver.plan(grid.zeros_vector()), np.zeros((4, 4, 4)))
+
     def test_mass_conserved_for_divergence_free_velocity(self, grid, solver):
         # for div v = 0 the transport preserves the integral of rho well
         rho0 = 1.0 + 0.5 * smooth_scalar_field(grid, seed=2)
