@@ -1,0 +1,276 @@
+"""Service throughput benchmark: N serial solves vs N queued jobs (PR 6).
+
+The scenario the job service exists for: four same-grid requests arrive
+together (an atlas normalization pass — apply one population-average
+velocity to four subject images, plus a four-subject registration burst).
+The benchmark runs each workload twice:
+
+* **serial** — four independent solves through the plain synchronous path,
+* **queued** — the same four solves submitted as service jobs, where the
+  micro-batcher merges compatible transport jobs into shared
+  ``solve_state_many`` stacks and the plan pool serves later batches warm.
+
+The deterministic results (asserted, so no wall-clock gate can flake):
+
+* the queued transport path performs **strictly fewer ghost-exchange
+  rounds** than four independent solves (batches share one round per step),
+* the plan-pool **hit rate of the queued jobs is >= 50 %** (the first
+  batch builds the two scatter plans, every later batch reuses them),
+* the queued results are **bitwise equal** to the serial ones.
+
+Wall times are reported for context.  Artifacts go to
+``benchmarks/results/service_throughput.{txt,json}``; the ``acceptance``
+block in the JSON is what the CI service-smoke job checks.
+
+Run with ``pytest benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.optim.gauss_newton import SolverOptions
+from repro.core.registration import register
+from repro.data.synthetic import synthetic_population, synthetic_registration_problem
+from repro.parallel.comm import SimulatedCommunicator
+from repro.parallel.pencil import PencilDecomposition
+from repro.parallel.transport import DistributedTransportSolver
+from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
+from repro.service import RegistrationService, RegistrationJobSpec, TransportJobSpec
+from repro.spectral.grid import Grid
+
+#: Grid edge of both scenarios (p = 4 simulated ranks).
+N = int(os.environ.get("REPRO_BENCH_SERVICE_N", "16"))
+
+#: Concurrent same-grid jobs per scenario (the acceptance criterion's N).
+NUM_JOBS = 4
+
+#: Micro-batch cap of the queued transport run: 4 jobs -> 2 batches, so the
+#: second batch demonstrates warm plan reuse (hit rate exactly 1/2).
+MAX_BATCH = 2
+
+NUM_TASKS = 4
+NUM_TIME_STEPS = 4
+
+
+def _hit_rate(stats) -> float:
+    total = stats.hits + stats.misses
+    return stats.hits / total if total else 0.0
+
+
+def _transport_workload():
+    """One population-average velocity + four subject images."""
+    population = synthetic_population(
+        N, num_subjects=NUM_JOBS, num_time_steps=NUM_TIME_STEPS
+    )
+    problem = synthetic_registration_problem(N, num_time_steps=NUM_TIME_STEPS)
+    return population.grid, problem.true_velocity, population.subjects
+
+
+def _serial_transport(grid, velocity, movings):
+    deco = PencilDecomposition.from_num_tasks(grid.shape, NUM_TASKS)
+    comm = SimulatedCommunicator(deco.num_tasks)
+    reset_plan_pool()
+    pool_before = get_plan_pool().stats
+    start = time.perf_counter()
+    results = [
+        DistributedTransportSolver(
+            grid, deco, num_time_steps=NUM_TIME_STEPS, comm=comm
+        ).solve_state(velocity, moving)
+        for moving in movings
+    ]
+    wall = time.perf_counter() - start
+    delta = get_plan_pool().stats - pool_before
+    return {
+        "results": results,
+        "wall_seconds": wall,
+        "ghost_exchange_calls": comm.ledger.summary()["ghost_exchange"]["calls"],
+        "ledger": comm.ledger.summary(),
+        "plan_pool": delta.as_dict(),
+        "plan_pool_hit_rate": _hit_rate(delta),
+    }
+
+
+def _queued_transport(grid, velocity, movings):
+    reset_plan_pool()
+    with RegistrationService(num_workers=1, max_batch=MAX_BATCH) as service:
+        # a blocker job (different velocity) keeps the single worker busy so
+        # all four measured jobs are queued when the claim happens — the
+        # deterministic 2+2 batching the acceptance numbers assume
+        blocker = service.submit_transport(
+            TransportJobSpec(
+                velocity=np.roll(velocity, 1, axis=1),
+                moving=movings[0],
+                num_time_steps=NUM_TIME_STEPS,
+                num_tasks=NUM_TASKS,
+                grid=grid,
+            )
+        )
+        jobs = [
+            service.submit_transport(
+                TransportJobSpec(
+                    velocity=velocity,
+                    moving=moving,
+                    num_time_steps=NUM_TIME_STEPS,
+                    num_tasks=NUM_TASKS,
+                    grid=grid,
+                )
+            )
+            for moving in movings
+        ]
+        blocker.result(timeout=600)
+        pool_after_blocker = get_plan_pool().stats
+        start = time.perf_counter()
+        results = service.gather(jobs, timeout=600)
+        wall = time.perf_counter() - start
+    delta = get_plan_pool().stats - pool_after_blocker
+    # every job reports its batch's ledger; dividing by the batch size and
+    # summing charges each batch exactly once
+    ghost_calls = sum(
+        job.record.metrics["ghost_exchange_calls"] / job.record.metrics["batch_size"]
+        for job in jobs
+    )
+    return {
+        "results": results,
+        "wall_seconds": wall,
+        "ghost_exchange_calls": int(round(ghost_calls)),
+        "batch_sizes": sorted(job.record.batch_size for job in jobs),
+        "plan_pool": delta.as_dict(),
+        "plan_pool_hit_rate": _hit_rate(delta),
+    }
+
+
+def _registration_workload():
+    problem = synthetic_registration_problem(N, num_time_steps=NUM_TIME_STEPS)
+    options = SolverOptions(max_newton_iterations=1, max_krylov_iterations=3)
+    return problem, options
+
+
+def _serial_registration(problem, options):
+    reset_plan_pool()
+    pool_before = get_plan_pool().stats
+    start = time.perf_counter()
+    results = [
+        register(problem.template, problem.reference, options=options)
+        for _ in range(NUM_JOBS)
+    ]
+    wall = time.perf_counter() - start
+    delta = get_plan_pool().stats - pool_before
+    return {
+        "results": results,
+        "wall_seconds": wall,
+        "plan_pool": delta.as_dict(),
+        "plan_pool_hit_rate": _hit_rate(delta),
+    }
+
+
+def _queued_registration(problem, options):
+    reset_plan_pool()
+    pool_before = get_plan_pool().stats
+    start = time.perf_counter()
+    with RegistrationService(num_workers=2) as service:
+        jobs = [
+            service.submit_registration(
+                RegistrationJobSpec(
+                    template=problem.template,
+                    reference=problem.reference,
+                    options=options,
+                )
+            )
+            for _ in range(NUM_JOBS)
+        ]
+        results = service.gather(jobs, timeout=600)
+    wall = time.perf_counter() - start
+    delta = get_plan_pool().stats - pool_before
+    return {
+        "results": results,
+        "wall_seconds": wall,
+        "plan_pool": delta.as_dict(),
+        "plan_pool_hit_rate": _hit_rate(delta),
+    }
+
+
+def test_service_throughput(record_text, record_json):
+    grid, velocity, movings = _transport_workload()
+    assert isinstance(grid, Grid)
+
+    serial_t = _serial_transport(grid, velocity, movings)
+    queued_t = _queued_transport(grid, velocity, movings)
+    bitwise_equal = all(
+        np.array_equal(expected, got)
+        for expected, got in zip(serial_t["results"], queued_t["results"])
+    )
+
+    problem, options = _registration_workload()
+    serial_r = _serial_registration(problem, options)
+    queued_r = _queued_registration(problem, options)
+    register_bitwise = all(
+        np.array_equal(serial_r["results"][0].velocity, result.velocity)
+        for result in queued_r["results"]
+    )
+
+    acceptance = {
+        "num_jobs": NUM_JOBS,
+        "plan_pool_hit_rate": queued_t["plan_pool_hit_rate"],
+        "hit_rate_ge_50_percent": queued_t["plan_pool_hit_rate"] >= 0.5,
+        "queued_ghost_exchange_calls": queued_t["ghost_exchange_calls"],
+        "serial_ghost_exchange_calls": serial_t["ghost_exchange_calls"],
+        "strictly_fewer_ghost_rounds": (
+            queued_t["ghost_exchange_calls"] < serial_t["ghost_exchange_calls"]
+        ),
+        "bitwise_equal_to_serial": bitwise_equal,
+    }
+
+    def _public(section):
+        return {key: value for key, value in section.items() if key != "results"}
+
+    payload = {
+        "grid": f"{N}^3",
+        "num_jobs": NUM_JOBS,
+        "num_tasks": NUM_TASKS,
+        "num_time_steps": NUM_TIME_STEPS,
+        "max_batch": MAX_BATCH,
+        "acceptance": acceptance,
+        "transport": {
+            "serial": _public(serial_t),
+            "queued": _public(queued_t),
+            "bitwise_equal": bitwise_equal,
+        },
+        "registration": {
+            "serial": _public(serial_r),
+            "queued": _public(queued_r),
+            "bitwise_equal": register_bitwise,
+            "relative_residual": serial_r["results"][0].relative_residual,
+        },
+    }
+    record_json("service_throughput", payload)
+
+    lines = [
+        f"service throughput: {NUM_JOBS} same-grid jobs at {N}^3, "
+        f"{NUM_TASKS} simulated ranks, nt={NUM_TIME_STEPS}, max_batch={MAX_BATCH}",
+        "",
+        "transport (atlas normalization pass: one velocity, four subjects)",
+        f"  serial : {serial_t['wall_seconds']:8.3f} s, "
+        f"{serial_t['ghost_exchange_calls']:3d} ghost-exchange calls",
+        f"  queued : {queued_t['wall_seconds']:8.3f} s, "
+        f"{queued_t['ghost_exchange_calls']:3d} ghost-exchange calls, "
+        f"batches {queued_t['batch_sizes']}, "
+        f"pool hit rate {queued_t['plan_pool_hit_rate']:.0%}",
+        f"  bitwise equal to serial: {bitwise_equal}",
+        "",
+        "registration (four-subject burst, 1 Gauss-Newton iteration each)",
+        f"  serial : {serial_r['wall_seconds']:8.3f} s, "
+        f"pool hit rate {serial_r['plan_pool_hit_rate']:.0%}",
+        f"  queued : {queued_r['wall_seconds']:8.3f} s on 2 workers, "
+        f"pool hit rate {queued_r['plan_pool_hit_rate']:.0%}",
+        f"  velocities bitwise equal across jobs: {register_bitwise}",
+    ]
+    record_text("service_throughput", "\n".join(lines))
+
+    # the acceptance criteria are structural, not wall-clock, so assert them
+    assert acceptance["hit_rate_ge_50_percent"], acceptance
+    assert acceptance["strictly_fewer_ghost_rounds"], acceptance
+    assert acceptance["bitwise_equal_to_serial"], acceptance

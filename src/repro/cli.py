@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Two subcommands are provided so the solver can be driven without writing
+Three subcommands are provided so the solver can be driven without writing
 Python:
 
 ``repro-register register``
@@ -16,6 +16,17 @@ Python:
     the calibrated performance model, or a custom configuration
     (``--grid N --tasks p --machine maverick``).
 
+``repro-register serve`` (also installed as ``repro-serve``)
+    Run an atlas (population) workload through the registration service:
+    every subject image is queued as a job, a worker pool executes the
+    solves sharing the process-wide plan pool, and per-job JSON artifacts
+    can be journaled with ``--artifacts-dir``.
+
+Execution knobs (``--fft-backend``, ``--plan-layout``, ``--workers``, ...)
+are shared by ``register`` and ``serve``; internally they are layered onto
+a :class:`repro.config.RegistrationConfig` (flags beat config fields beat
+``REPRO_*`` environment variables beat built-in defaults).
+
 Examples
 --------
 ::
@@ -24,11 +35,13 @@ Examples
     repro-register register --input pair.npz --incompressible --output result.npz
     repro-register scaling --table I
     repro-register scaling --grid 256 --tasks 512 --machine stampede
+    repro-serve --synthetic 16 --subjects 4 --max-batch 4 --output atlas.npz
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -36,36 +49,114 @@ import numpy as np
 
 from repro.analysis.experiments import reproduce_scaling_table
 from repro.analysis.reporting import format_breakdown_table, format_rows
+from repro.config import RegistrationConfig
 from repro.core.optim.gauss_newton import SolverOptions
 from repro.core.registration import RegistrationSolver
 from repro.data.brain import brain_registration_pair
 from repro.data.io import load_problem
-from repro.data.synthetic import synthetic_registration_problem
+from repro.data.synthetic import synthetic_population, synthetic_registration_problem
 from repro.parallel.machines import get_machine
 from repro.parallel.performance import RegistrationCostModel
-from repro.runtime import (
-    auto_streaming_fraction,
-    configure_plan_pool,
-    get_plan_pool,
-    layout_decision_log,
-    resolve_workers,
-    set_default_workers,
-)
+from repro.runtime import get_plan_pool, layout_decision_log
 from repro.spectral.backends import (
     BackendUnavailableError,
     available_backends,
-    get_backend,
     registered_backends,
 )
 from repro.transport.kernels import (
     PLAN_LAYOUT_CHOICES,
     available_backends as available_interp_backends,
-    default_plan_layout,
-    get_backend as get_interp_backend,
     registered_backends as registered_interp_backends,
-    set_default_plan_layout,
 )
 from repro.utils.logging import set_verbosity
+
+
+def _add_config_flags(sub: argparse.ArgumentParser) -> None:
+    """Execution-configuration flags shared by ``register`` and ``serve``.
+
+    Each flag maps onto one :class:`repro.config.RegistrationConfig` field
+    (see :func:`_config_from_args`); leaving a flag unset defers to the
+    config/environment defaults.
+    """
+    sub.add_argument(
+        "--fft-backend",
+        choices=registered_backends(),
+        default=None,
+        help=(
+            "FFT engine for the spectral kernels (default: $REPRO_FFT_BACKEND "
+            f"or 'numpy'; available here: {', '.join(available_backends())})"
+        ),
+    )
+    sub.add_argument(
+        "--interp-backend",
+        choices=registered_interp_backends(),
+        default=None,
+        help=(
+            "gather engine for the semi-Lagrangian interpolation (default: "
+            "$REPRO_INTERP_BACKEND or 'scipy'; available here: "
+            f"{', '.join(available_interp_backends())})"
+        ),
+    )
+    sub.add_argument(
+        "--plan-layout",
+        choices=PLAN_LAYOUT_CHOICES,
+        default=None,
+        help=(
+            "stencil-plan storage layout: 'auto' (budget-aware: streaming "
+            "when a plan's projected lean bytes exceed a fraction of the "
+            "pool budget, lean otherwise), 'lean' (36 B/point), 'fat' "
+            "(192 B/point), or 'streaming' (chunk-resident, for out-of-core "
+            "grids; default: $REPRO_PLAN_LAYOUT or 'auto'); all layouts are "
+            "bitwise identical"
+        ),
+    )
+    sub.add_argument(
+        "--plan-pool-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "memory budget of the shared execution-plan pool (default: "
+            "$REPRO_PLAN_POOL_BYTES or 512 MiB; 0 disables plan caching)"
+        ),
+    )
+    sub.add_argument(
+        "--auto-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "threshold fraction of the budget-aware 'auto' plan layout "
+            "(default: $REPRO_PLAN_AUTO_FRACTION or 0.5)"
+        ),
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shared worker count for threaded kernels (default: $REPRO_WORKERS; "
+            "per-subsystem $REPRO_FFT_WORKERS / $REPRO_INTERP_WORKERS / "
+            "$REPRO_SERVICE_WORKERS override it)"
+        ),
+    )
+
+
+def _config_from_args(
+    args: argparse.Namespace, base: Optional[RegistrationConfig] = None
+) -> RegistrationConfig:
+    """Layer the CLI's configuration flags over *base* (flags win)."""
+    base = base if base is not None else RegistrationConfig()
+    overrides = {
+        "fft_backend": args.fft_backend,
+        "interp_backend": args.interp_backend,
+        "plan_layout": args.plan_layout,
+        "plan_pool_bytes": args.plan_pool_bytes,
+        "auto_fraction": args.auto_fraction,
+        "workers": args.workers,
+    }
+    return base.replace(**{name: value for name, value in overrides.items() if value is not None})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,58 +192,74 @@ def build_parser() -> argparse.ArgumentParser:
         default="gauss_newton",
         help="outer optimizer",
     )
-    reg.add_argument(
-        "--fft-backend",
-        choices=registered_backends(),
-        default=None,
-        help=(
-            "FFT engine for the spectral kernels (default: $REPRO_FFT_BACKEND "
-            f"or 'numpy'; available here: {', '.join(available_backends())})"
+    _add_config_flags(reg)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run an atlas (population) workload through the job service",
+        description=(
+            "Queue one registration job per subject image against a fixed "
+            "atlas/reference, execute them on a worker pool sharing the "
+            "process-wide plan pool, and report population-level results "
+            "plus service statistics."
         ),
     )
-    reg.add_argument(
-        "--interp-backend",
-        choices=registered_interp_backends(),
-        default=None,
-        help=(
-            "gather engine for the semi-Lagrangian interpolation (default: "
-            "$REPRO_INTERP_BACKEND or 'scipy'; available here: "
-            f"{', '.join(available_interp_backends())})"
-        ),
+    # SUPPRESS: only set when present, so the top-level --verbose survives
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="print per-iteration progress",
     )
-    reg.add_argument(
-        "--plan-layout",
-        choices=PLAN_LAYOUT_CHOICES,
-        default=None,
-        help=(
-            "stencil-plan storage layout: 'auto' (budget-aware: streaming "
-            "when a plan's projected lean bytes exceed a fraction of the "
-            "pool budget, lean otherwise), 'lean' (36 B/point), 'fat' "
-            "(192 B/point), or 'streaming' (chunk-resident, for out-of-core "
-            "grids; default: $REPRO_PLAN_LAYOUT or 'auto'); all layouts are "
-            "bitwise identical"
-        ),
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument(
+        "--input",
+        type=str,
+        help=".npz file with 'reference' (N1,N2,N3) and 'subjects' (K,N1,N2,N3)",
     )
-    reg.add_argument(
-        "--plan-pool-bytes",
+    serve_source.add_argument(
+        "--synthetic",
         type=int,
-        default=None,
-        metavar="BYTES",
-        help=(
-            "memory budget of the shared execution-plan pool (default: "
-            "$REPRO_PLAN_POOL_BYTES or 512 MiB; 0 disables plan caching)"
-        ),
+        metavar="N",
+        help="use a synthetic population at N^3 (see --subjects)",
     )
-    reg.add_argument(
-        "--workers",
+    serve.add_argument(
+        "--subjects", type=int, default=4, metavar="K", help="synthetic population size"
+    )
+    serve.add_argument("--output", type=str, default=None, help="output .npz path")
+    serve.add_argument("--beta", type=float, default=1e-2, help="regularization weight")
+    serve.add_argument(
+        "--regularization", choices=("h1", "h2", "h3"), default="h1", help="Sobolev seminorm"
+    )
+    serve.add_argument("--incompressible", action="store_true", help="enforce div v = 0")
+    serve.add_argument("--nt", type=int, default=4, help="semi-Lagrangian time steps")
+    serve.add_argument("--gtol", type=float, default=1e-2, help="relative gradient tolerance")
+    serve.add_argument("--max-newton", type=int, default=20, help="maximum Newton iterations")
+    serve.add_argument(
+        "--max-krylov", type=int, default=50, help="maximum PCG iterations per step"
+    )
+    serve.add_argument(
+        "--num-workers",
         type=int,
         default=None,
         metavar="N",
-        help=(
-            "shared worker count for threaded kernels (default: $REPRO_WORKERS; "
-            "per-subsystem $REPRO_FFT_WORKERS / $REPRO_INTERP_WORKERS override it)"
-        ),
+        help="service worker threads (default: $REPRO_SERVICE_WORKERS or one per core)",
     )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=4,
+        metavar="B",
+        help="micro-batch size cap for compatible transport jobs (1 disables batching)",
+    )
+    serve.add_argument(
+        "--artifacts-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="journal every finished job to DIR/job-<id>.json",
+    )
+    _add_config_flags(serve)
 
     scal = subparsers.add_parser("scaling", help="print paper-vs-model scaling tables")
     scal.add_argument("--table", choices=("I", "II", "III", "IV"), default=None)
@@ -181,19 +288,13 @@ def _load_pair(args: argparse.Namespace):
     return pair.reference, pair.template, pair.grid
 
 
-def _run_register(args: argparse.Namespace) -> int:
+def _run_register(
+    args: argparse.Namespace, base_config: Optional[RegistrationConfig] = None
+) -> int:
     try:
-        # resolve early (flag or environment) for a clean error message
-        get_backend(args.fft_backend)
-        get_interp_backend(args.interp_backend)
-        set_default_plan_layout(args.plan_layout)  # None keeps the env default
-        default_plan_layout()  # validate $REPRO_PLAN_LAYOUT for a clean error
-        auto_streaming_fraction()  # ... and $REPRO_PLAN_AUTO_FRACTION
-        configure_plan_pool(args.plan_pool_bytes)  # None re-reads the env
-        if args.workers is not None:
-            set_default_workers(args.workers)
-        for subsystem in ("fft", "interp"):  # validate the worker env vars
-            resolve_workers(subsystem)
+        # construct, validate and apply every knob (flag or environment)
+        # early, for a clean error message before any data is loaded
+        config = _config_from_args(args, base_config).apply()
     except (BackendUnavailableError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -211,12 +312,13 @@ def _run_register(args: argparse.Namespace) -> int:
         num_time_steps=args.nt,
         optimizer=args.optimizer,
         options=options,
-        fft_backend=args.fft_backend,
-        interp_backend=args.interp_backend,
+        config=config,
     )
     result = solver.run(template, reference, grid=grid)
     print(format_rows([result.summary()], title="Registration summary"))
     if args.verbose:
+        # the same versioned document the service journals per job
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         pool = get_plan_pool()
         stats = pool.stats
         print(
@@ -253,6 +355,92 @@ def _run_register(args: argparse.Namespace) -> int:
     return 0 if result.relative_residual < 1.0 else 1
 
 
+def _load_population(args: argparse.Namespace):
+    if args.input:
+        data = np.load(args.input)
+        if "reference" not in data or "subjects" not in data:
+            raise ValueError(
+                f"{args.input} must contain 'reference' (N1,N2,N3) and "
+                "'subjects' (K,N1,N2,N3) arrays"
+            )
+        return np.asarray(data["reference"]), list(np.asarray(data["subjects"]))
+    population = synthetic_population(
+        args.synthetic,
+        num_subjects=args.subjects,
+        num_time_steps=args.nt,
+        incompressible=args.incompressible,
+    )
+    return population.atlas, population.subjects
+
+
+def _run_serve(
+    args: argparse.Namespace, base_config: Optional[RegistrationConfig] = None
+) -> int:
+    # imported here: the service pulls in the whole parallel stack, which the
+    # plain register/scaling paths never need
+    from repro.service import RegistrationService, run_atlas
+
+    try:
+        config = _config_from_args(args, base_config).apply()
+        reference, subjects = _load_population(args)
+    except (BackendUnavailableError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    options = SolverOptions(
+        gradient_tolerance=args.gtol,
+        max_newton_iterations=args.max_newton,
+        max_krylov_iterations=args.max_krylov,
+        verbose=args.verbose,
+    )
+    with RegistrationService(
+        config=config,
+        num_workers=args.num_workers,
+        max_batch=args.max_batch,
+        artifacts_dir=args.artifacts_dir,
+    ) as service:
+        atlas = run_atlas(
+            reference,
+            subjects,
+            service=service,
+            raise_on_error=False,
+            beta=args.beta,
+            regularization=args.regularization,
+            incompressible=args.incompressible,
+            num_time_steps=args.nt,
+            options=options,
+        )
+        stats = service.service_stats()
+    print(format_rows([atlas.summary()], title="Atlas registration summary"))
+    print(
+        f"service: {stats['jobs_submitted']} jobs on {stats['num_workers']} workers, "
+        f"{stats['batches_executed']} batches ({stats['batched_jobs']} jobs batched)"
+    )
+    pool = stats["plan_pool"]
+    print(
+        f"plan pool: {pool['hits']} hits, {pool['misses']} misses "
+        f"(hit rate {stats['plan_pool_hit_rate']:.0%}), "
+        f"{pool['current_bytes']} bytes resident"
+    )
+    for job in atlas.jobs:
+        if job.record.error is not None:
+            print(f"job {job.job_id} failed: {job.record.error}", file=sys.stderr)
+    if args.artifacts_dir:
+        print(f"per-job artifacts written to {args.artifacts_dir}")
+    if args.output and atlas.mean_deformed is not None:
+        np.savez_compressed(
+            args.output,
+            mean_deformed=atlas.mean_deformed,
+            relative_residuals=np.array(
+                [
+                    result.relative_residual if result is not None else np.nan
+                    for result in atlas.results
+                ]
+            ),
+        )
+        print(f"atlas estimate written to {args.output}")
+    return 0 if atlas.num_failed == 0 else 1
+
+
 def _run_scaling(args: argparse.Namespace) -> int:
     if args.table:
         entries = reproduce_scaling_table(
@@ -282,15 +470,31 @@ def _run_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro-register`` console script."""
+def main(
+    argv: Optional[Sequence[str]] = None,
+    config: Optional[RegistrationConfig] = None,
+) -> int:
+    """Entry point of the ``repro-register`` console script.
+
+    *config* is an optional base :class:`repro.config.RegistrationConfig`
+    for embedding callers; the command-line flags are layered on top of it
+    (flags win field by field).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.verbose:
         set_verbosity("info")
     if args.command == "register":
-        return _run_register(args)
+        return _run_register(args, config)
+    if args.command == "serve":
+        return _run_serve(args, config)
     return _run_scaling(args)
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-serve`` console script (= ``serve``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return main(["serve", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover

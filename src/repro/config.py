@@ -1,0 +1,169 @@
+"""Unified registration configuration (:class:`RegistrationConfig`).
+
+PRs 1-5 grew the runtime a knob at a time — ``REPRO_FFT_BACKEND``,
+``REPRO_INTERP_BACKEND``, ``REPRO_PLAN_LAYOUT``, ``REPRO_WORKERS``,
+``REPRO_PLAN_POOL_BYTES``, ``REPRO_PLAN_AUTO_FRACTION`` — each with its own
+environment variable, CLI flag and keyword argument.  Every entry point
+(the CLI, :func:`repro.register`, the benchmarks, and now the job service)
+re-implemented the same resolve-and-apply dance.  This module consolidates
+the scattered knobs into one frozen dataclass that every entry point
+accepts:
+
+* :meth:`RegistrationConfig.from_env` snapshots the *effective* environment
+  configuration (useful for artifacts: "what configuration produced this
+  result"),
+* :meth:`RegistrationConfig.apply` validates every field and pushes the
+  process-wide ones (plan layout, worker default, pool budget, auto
+  fraction) into the runtime — fields left at ``None`` keep the
+  environment/default behavior untouched,
+* :meth:`RegistrationConfig.replace` derives a variant (the CLI layers its
+  flags over a base config this way).
+
+Precedence, first match wins (unchanged from the pre-config behavior —
+the config object slots in where the scattered kwargs used to be)::
+
+    explicit kwarg / CLI flag  >  RegistrationConfig field  >
+        per-subsystem env var  >  shared env var  >  built-in default
+
+The legacy keyword arguments (``register(..., fft_backend=...)``) keep
+working through a deprecation shim in :mod:`repro.core.registration` that
+warns once per process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.runtime.layout import auto_streaming_fraction, set_auto_fraction
+from repro.runtime.plan_pool import configure_plan_pool, env_pool_budget, get_plan_pool
+from repro.runtime.workers import resolve_workers, set_default_workers
+from repro.spectral import backends as fft_backends
+from repro.transport import kernels as interp_kernels
+
+__all__ = ["RegistrationConfig"]
+
+
+@dataclass(frozen=True)
+class RegistrationConfig:
+    """Consolidated execution configuration of one registration entry point.
+
+    Every field defaults to ``None`` = "defer to the environment / built-in
+    default", so ``RegistrationConfig()`` is always a valid no-op config.
+
+    Parameters
+    ----------
+    fft_backend:
+        FFT engine name (``"numpy"``, ``"scipy"``, ``"pyfftw"``).
+    interp_backend:
+        Semi-Lagrangian gather engine name (``"scipy"``, ``"numpy"``,
+        ``"numba"``).
+    plan_layout:
+        Stencil-plan storage layout (``"auto"``, ``"lean"``, ``"fat"``,
+        ``"streaming"``); applied process-wide (the ``--plan-layout`` path).
+    workers:
+        Shared default worker count for threaded kernels (the
+        ``REPRO_WORKERS`` / ``--workers`` knob); per-subsystem environment
+        variables still override it.
+    plan_pool_bytes:
+        Byte budget of the shared execution-plan pool (``0`` disables
+        caching).
+    auto_fraction:
+        Threshold fraction of the budget-aware ``auto`` layout policy,
+        in ``(0, 1]``.
+    """
+
+    fft_backend: Optional[str] = None
+    interp_backend: Optional[str] = None
+    plan_layout: Optional[str] = None
+    workers: Optional[int] = None
+    plan_pool_bytes: Optional[int] = None
+    auto_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and int(self.workers) < 1:
+            raise ValueError(f"workers must be a positive count, got {self.workers}")
+        if self.plan_pool_bytes is not None and int(self.plan_pool_bytes) < 0:
+            raise ValueError(
+                f"plan_pool_bytes must be non-negative, got {self.plan_pool_bytes}"
+            )
+        if self.auto_fraction is not None and not 0.0 < float(self.auto_fraction) <= 1.0:
+            raise ValueError(
+                f"auto_fraction must lie in (0, 1], got {self.auto_fraction}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_env(cls) -> "RegistrationConfig":
+        """Snapshot the *effective* configuration of this process.
+
+        Resolves every knob the way the solvers would (environment variable,
+        process-wide override, or built-in default) and freezes the concrete
+        values, so the snapshot is reproducible even if the environment
+        changes later.  Malformed environment values raise here with the
+        valid choices, exactly as they would at solve time.
+        """
+        return cls(
+            fft_backend=fft_backends.default_backend_name(),
+            interp_backend=interp_kernels.default_backend_name(),
+            plan_layout=interp_kernels.default_plan_layout(),
+            workers=resolve_workers("service"),
+            plan_pool_bytes=get_plan_pool().max_bytes,
+            auto_fraction=auto_streaming_fraction(),
+        )
+
+    def replace(self, **changes: object) -> "RegistrationConfig":
+        """A copy with *changes* applied (:func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "RegistrationConfig":
+        """Resolve every knob (set or environmental) for a clean early error.
+
+        Nothing is mutated: this is the validation the CLI used to run
+        before starting a solve, factored into the config object.
+        """
+        fft_backends.get_backend(self.fft_backend)
+        interp_kernels.get_backend(self.interp_backend)
+        if self.plan_layout is not None and (
+            self.plan_layout not in interp_kernels.PLAN_LAYOUT_CHOICES
+        ):
+            raise ValueError(
+                f"unknown stencil-plan layout {self.plan_layout!r}; "
+                f"expected one of {interp_kernels.PLAN_LAYOUT_CHOICES}"
+            )
+        interp_kernels.default_plan_layout()  # validate $REPRO_PLAN_LAYOUT
+        auto_streaming_fraction()  # ... and $REPRO_PLAN_AUTO_FRACTION
+        env_pool_budget()  # ... and $REPRO_PLAN_POOL_BYTES
+        for subsystem in ("fft", "interp", "service"):  # ... and the worker vars
+            resolve_workers(subsystem)
+        return self
+
+    def apply(self) -> "RegistrationConfig":
+        """Validate, then push the process-wide knobs into the runtime.
+
+        Only fields that are set are applied; ``None`` fields leave the
+        corresponding runtime state (and any prior override) untouched, so
+        applying a partial config never clobbers another entry point's
+        explicit choices.
+        """
+        self.validate()
+        if self.plan_layout is not None:
+            interp_kernels.set_default_plan_layout(self.plan_layout)
+        if self.auto_fraction is not None:
+            set_auto_fraction(self.auto_fraction)
+        if self.workers is not None:
+            set_default_workers(self.workers)
+        if self.plan_pool_bytes is not None:
+            configure_plan_pool(self.plan_pool_bytes)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (``None`` fields mean "environment default")."""
+        return dataclasses.asdict(self)

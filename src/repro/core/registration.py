@@ -13,11 +13,13 @@ of the deformation gradient.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.config import RegistrationConfig
 from repro.core.metrics import determinant_summary, relative_residual, residual_norm
 from repro.core.optim.gauss_newton import (
     GaussNewtonKrylov,
@@ -33,6 +35,44 @@ from repro.transport.deformation import DeformationMap
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("core.registration")
+
+#: Name and version of the JSON document :meth:`RegistrationResult.to_dict`
+#: emits.  The CLI's verbose report and the job service's per-job artifacts
+#: share this one schema; bump the version on any breaking field change.
+RESULT_SCHEMA = "repro.registration-result"
+RESULT_SCHEMA_VERSION = 1
+
+_legacy_kwargs_warned = False
+
+
+def _warn_legacy_backend_kwargs() -> None:
+    """One-per-process deprecation warning for the pre-config kwargs."""
+    global _legacy_kwargs_warned
+    if _legacy_kwargs_warned:
+        return
+    _legacy_kwargs_warned = True
+    warnings.warn(
+        "passing fft_backend/interp_backend to register() directly is "
+        "deprecated; bundle them in a repro.RegistrationConfig "
+        "(register(..., config=RegistrationConfig(fft_backend=...)))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _jsonable(value):
+    """Coerce numpy scalars (and nested containers) to plain JSON types."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    return value
 
 
 @dataclass
@@ -93,6 +133,33 @@ class RegistrationResult:
             "plan_pool_misses": self.plan_pool.misses if self.plan_pool is not None else 0,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned, JSON-serializable report of this registration.
+
+        One schema (:data:`RESULT_SCHEMA` v. :data:`RESULT_SCHEMA_VERSION`)
+        shared by every consumer — the CLI's ``--verbose`` report prints it,
+        the job service embeds it in the per-job artifacts — so downstream
+        tooling parses a single document shape.  Array payloads (velocity,
+        deformed template) are deliberately excluded; they travel as
+        ``.npz`` files.
+        """
+        opt = self.optimization
+        return {
+            "schema": RESULT_SCHEMA,
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "summary": _jsonable(self.summary()),
+            "optimization": {
+                "converged": bool(opt.converged),
+                "num_iterations": int(opt.num_iterations),
+                "total_hessian_matvecs": int(opt.total_hessian_matvecs),
+            },
+            "det_grad": _jsonable(self.det_grad_stats),
+            "plan_pool": (
+                _jsonable(self.plan_pool.as_dict()) if self.plan_pool is not None else None
+            ),
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
 
 @dataclass
 class RegistrationSolver:
@@ -132,6 +199,13 @@ class RegistrationSolver:
         pipeline (``"scipy"``, ``"numpy"``, ``"numba"``, a backend
         instance, or ``None`` for the ``REPRO_INTERP_BACKEND`` / scipy
         default).
+    config:
+        Consolidated execution configuration
+        (:class:`repro.config.RegistrationConfig`).  When provided it is
+        applied process-wide (plan layout, worker default, pool budget,
+        auto fraction) and supplies the FFT/interpolation engines unless
+        the explicit ``fft_backend``/``interp_backend`` arguments override
+        them.
     """
 
     beta: float = 1e-2
@@ -146,6 +220,16 @@ class RegistrationSolver:
     interpolation: str = "cubic_bspline"
     fft_backend: Optional[object] = None
     interp_backend: Optional[object] = None
+    config: Optional[RegistrationConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            return
+        self.config.apply()
+        if self.fft_backend is None:
+            self.fft_backend = self.config.fft_backend
+        if self.interp_backend is None:
+            self.interp_backend = self.config.interp_backend
 
     def build_problem(
         self,
@@ -269,10 +353,15 @@ def register(
     interpolation: str = "cubic_bspline",
     fft_backend: Optional[object] = None,
     interp_backend: Optional[object] = None,
+    config: Optional[RegistrationConfig] = None,
 ) -> RegistrationResult:
     """Register *template* onto *reference* (functional convenience wrapper).
 
     See :class:`RegistrationSolver` for the meaning of every parameter.
+    Execution knobs (backends, plan layout, workers, pool budget) belong in
+    *config* (:class:`repro.config.RegistrationConfig`); the bare
+    ``fft_backend``/``interp_backend`` keywords are the legacy spelling and
+    warn (once per process) when used.
 
     Examples
     --------
@@ -282,6 +371,8 @@ def register(
     >>> result.relative_residual < 1.0
     True
     """
+    if fft_backend is not None or interp_backend is not None:
+        _warn_legacy_backend_kwargs()
     solver = RegistrationSolver(
         beta=beta,
         regularization=regularization,
@@ -295,5 +386,6 @@ def register(
         interpolation=interpolation,
         fft_backend=fft_backend,
         interp_backend=interp_backend,
+        config=config,
     )
     return solver.run(template, reference, grid=grid)

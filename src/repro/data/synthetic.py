@@ -16,7 +16,7 @@ provides one (an ABC-type field, exactly divergence free).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -129,4 +129,75 @@ def synthetic_registration_problem(
         true_velocity=velocity,
         num_time_steps=num_time_steps,
         incompressible=incompressible,
+    )
+
+
+@dataclass
+class SyntheticPopulation:
+    """A synthetic atlas population: one atlas, many deformed subjects."""
+
+    grid: Grid
+    atlas: np.ndarray
+    subjects: List[np.ndarray]
+    amplitudes: List[float]
+    num_time_steps: int
+
+    @property
+    def num_subjects(self) -> int:
+        return len(self.subjects)
+
+
+def synthetic_population(
+    resolution: int | tuple[int, int, int] = 32,
+    num_subjects: int = 4,
+    amplitude: float = 1.0,
+    spread: float = 0.5,
+    num_time_steps: int = 4,
+    incompressible: bool = False,
+    grid: Optional[Grid] = None,
+    interpolation: str = "cubic_bspline",
+) -> SyntheticPopulation:
+    """A deterministic population for the atlas (service) workload.
+
+    Every subject is the sinusoidal template transported by the analytic
+    velocity at a subject-specific amplitude, spaced evenly across
+    ``amplitude * [1 - spread, 1 + spread]``; the atlas is the untransported
+    template.  Registering each subject back to the atlas is therefore a
+    genuine large-deformation problem with a known generating velocity per
+    subject — and all subjects share the atlas's grid, so the service-side
+    plan reuse across the population is exercised exactly as in a real
+    population study.
+    """
+    check_positive_int(num_subjects, "num_subjects")
+    if not 0.0 <= spread < 1.0:
+        raise ValueError(f"spread must lie in [0, 1), got {spread}")
+    if grid is None:
+        if np.isscalar(resolution):
+            check_positive_int(int(resolution), "resolution")
+            shape = (int(resolution),) * 3
+        else:
+            shape = tuple(int(r) for r in resolution)
+        grid = Grid(shape)
+    atlas = sinusoidal_template(grid)
+    if num_subjects == 1:
+        amplitudes = [float(amplitude)]
+    else:
+        offsets = np.linspace(-spread, spread, num_subjects)
+        amplitudes = [float(amplitude * (1.0 + offset)) for offset in offsets]
+    transport = TransportSolver(grid, num_time_steps=num_time_steps, interpolation=interpolation)
+    subjects = []
+    for subject_amplitude in amplitudes:
+        velocity = (
+            solenoidal_velocity(grid, subject_amplitude)
+            if incompressible
+            else synthetic_velocity(grid, subject_amplitude)
+        )
+        plan = transport.plan(velocity)
+        subjects.append(transport.solve_state(plan, atlas)[-1])
+    return SyntheticPopulation(
+        grid=grid,
+        atlas=atlas,
+        subjects=subjects,
+        amplitudes=amplitudes,
+        num_time_steps=num_time_steps,
     )

@@ -39,6 +39,7 @@ from repro.runtime.layout import (
     auto_streaming_fraction,
     layout_decision_log,
     select_layout,
+    set_auto_fraction,
 )
 from repro.runtime.plan_pool import (
     DEFAULT_POOL_BYTES,
@@ -47,6 +48,7 @@ from repro.runtime.plan_pool import (
     PoolStats,
     array_fingerprint,
     configure_plan_pool,
+    env_pool_budget,
     get_plan_pool,
     key_tag,
     reset_plan_pool,
@@ -54,6 +56,7 @@ from repro.runtime.plan_pool import (
 from repro.runtime.workers import (
     FFT_WORKERS_ENV_VAR,
     INTERP_WORKERS_ENV_VAR,
+    SERVICE_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
     get_executor,
     resolve_workers,
@@ -69,17 +72,20 @@ __all__ = [
     "auto_streaming_fraction",
     "layout_decision_log",
     "select_layout",
+    "set_auto_fraction",
     "DEFAULT_POOL_BYTES",
     "POOL_BYTES_ENV_VAR",
     "PlanPool",
     "PoolStats",
     "array_fingerprint",
     "configure_plan_pool",
+    "env_pool_budget",
     "get_plan_pool",
     "key_tag",
     "reset_plan_pool",
     "FFT_WORKERS_ENV_VAR",
     "INTERP_WORKERS_ENV_VAR",
+    "SERVICE_WORKERS_ENV_VAR",
     "WORKERS_ENV_VAR",
     "get_executor",
     "resolve_workers",

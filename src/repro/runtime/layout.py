@@ -46,9 +46,35 @@ AUTO_FRACTION_ENV_VAR = "REPRO_PLAN_AUTO_FRACTION"
 #: chunk-resident layout wins.
 DEFAULT_AUTO_FRACTION = 0.5
 
+_process_auto_fraction: Optional[float] = None
+
+
+def set_auto_fraction(fraction: Optional[float]) -> None:
+    """Set the process-wide auto-layout threshold fraction.
+
+    The programmatic twin of ``REPRO_PLAN_AUTO_FRACTION`` (the
+    :class:`repro.config.RegistrationConfig` path); ``None`` clears a
+    previous override, falling back to the environment / built-in default.
+    The environment is never mutated.
+    """
+    global _process_auto_fraction
+    if fraction is None:
+        _process_auto_fraction = None
+        return
+    fraction = float(fraction)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"auto fraction must lie in (0, 1], got {fraction}")
+    _process_auto_fraction = fraction
+
 
 def auto_streaming_fraction() -> float:
-    """Active auto-layout threshold fraction (env override or the default)."""
+    """Active auto-layout threshold fraction.
+
+    Resolution order: process-wide override (:func:`set_auto_fraction`),
+    then ``REPRO_PLAN_AUTO_FRACTION``, then the default.
+    """
+    if _process_auto_fraction is not None:
+        return _process_auto_fraction
     value = os.environ.get(AUTO_FRACTION_ENV_VAR, "").strip()
     if not value:
         return DEFAULT_AUTO_FRACTION

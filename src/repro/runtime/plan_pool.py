@@ -62,6 +62,15 @@ def _env_budget() -> int:
         ) from exc
 
 
+def env_pool_budget() -> int:
+    """The pool budget ``REPRO_PLAN_POOL_BYTES`` resolves to right now.
+
+    Raises the same :class:`ValueError` as lazy pool creation would on a
+    malformed value — entry points call this to fail early and cleanly.
+    """
+    return _env_budget()
+
+
 def array_fingerprint(*arrays: np.ndarray) -> str:
     """Content fingerprint (BLAKE2b) of one or more arrays.
 
@@ -144,6 +153,25 @@ class _Entry:
     tag: str = "untagged"
 
 
+class _InflightBuild:
+    """Hand-off slot of one in-progress plan build (single-flight).
+
+    The first thread to miss a key becomes the *owner* and runs the
+    builder; every other thread that asks for the same key while the build
+    is in flight waits on :attr:`event` and receives the shared product —
+    under the concurrent submitters of the job service, N same-grid
+    registrations planning the same (e.g. zero) velocity perform one build
+    instead of N redundant ones.
+    """
+
+    __slots__ = ("event", "value", "success")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.success = False
+
+
 @dataclass
 class _TagCounters:
     hits: int = 0
@@ -173,6 +201,7 @@ class PlanPool:
             raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
         self.max_bytes = int(max_bytes)
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._inflight: Dict[Hashable, _InflightBuild] = {}
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
@@ -192,6 +221,11 @@ class PlanPool:
     # ------------------------------------------------------------------ #
     # core operations
     # ------------------------------------------------------------------ #
+    def _record_hit(self, tag: str) -> None:
+        """Count one hit, pool-wide and per tag (caller holds the lock)."""
+        self._hits += 1
+        self._tag(tag).hits += 1
+
     def get(
         self,
         key: Hashable,
@@ -199,6 +233,14 @@ class PlanPool:
         nbytes: Optional[Callable[[Any], int]] = None,
     ) -> Any:
         """Return the cached value for *key*, building (and storing) on miss.
+
+        Builds are **single-flight**: when several threads miss the same key
+        concurrently (the job service's worker fan-out planning one shared
+        velocity), exactly one runs the builder — charged the miss — and the
+        others wait for the shared product, each charged a *hit* (they
+        received a warm plan without building; this also holds when the
+        built plan is too large to store).  A failed build releases the
+        waiters, which then retry (one of them becomes the next owner).
 
         Parameters
         ----------
@@ -210,19 +252,50 @@ class PlanPool:
         nbytes:
             Size accessor; defaults to the value's ``nbytes`` attribute.
         """
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self._hits += 1
-                self._tag(entry.tag).hits += 1
-                return entry.value
-            self._misses += 1
-            self._tag(key_tag(key)).misses += 1
-        value = builder()
-        size = int(nbytes(value) if nbytes is not None else value.nbytes)
-        self._store(key, value, size)
-        return value
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._record_hit(entry.tag)
+                    return entry.value
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = self._inflight[key] = _InflightBuild()
+                    self._misses += 1
+                    self._tag(key_tag(key)).misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if owner:
+                try:
+                    value = builder()
+                    size = int(nbytes(value) if nbytes is not None else value.nbytes)
+                except BaseException:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.event.set()
+                    raise
+                self._store(key, value, size)
+                with self._lock:
+                    flight.value = value
+                    flight.success = True
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                return value
+            flight.event.wait()
+            if not flight.success:
+                continue  # the owner's build failed; retry from scratch
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._record_hit(entry.tag)
+                    return entry.value
+                # built but never stored (oversize plan, or already evicted
+                # by concurrent inserts): the shared build still served us
+                self._record_hit(key_tag(key))
+                return flight.value
 
     def peek(self, key: Hashable) -> Optional[Any]:
         """Return the cached value without recording a hit/miss (tests)."""
@@ -343,6 +416,52 @@ class PlanPool:
                 )
                 for tag, counters in sorted(self._tags.items())
             }
+
+    def validate_accounting(self) -> Dict[str, int]:
+        """Cross-check the byte/entry counters against the stored entries.
+
+        Recomputes ``current_bytes`` and the per-tag gauges from the actual
+        entries under the lock and compares them to the incrementally
+        maintained counters; raises :class:`RuntimeError` on any mismatch.
+        Used by the concurrency hammer tests (and available to servers as a
+        cheap health check): after any interleaving of gets, inserts,
+        evictions and budget changes, ``current_bytes`` must equal the sum
+        of the stored entries' ``nbytes`` and never exceed the budget.
+        """
+        with self._lock:
+            actual_bytes = sum(entry.nbytes for entry in self._entries.values())
+            problems = []
+            if actual_bytes != self._current_bytes:
+                problems.append(
+                    f"current_bytes={self._current_bytes} but stored entries "
+                    f"sum to {actual_bytes}"
+                )
+            if self._current_bytes > self.max_bytes:
+                problems.append(
+                    f"current_bytes={self._current_bytes} exceeds the budget "
+                    f"({self.max_bytes})"
+                )
+            by_tag_bytes: Dict[str, int] = {}
+            by_tag_entries: Dict[str, int] = {}
+            for entry in self._entries.values():
+                by_tag_bytes[entry.tag] = by_tag_bytes.get(entry.tag, 0) + entry.nbytes
+                by_tag_entries[entry.tag] = by_tag_entries.get(entry.tag, 0) + 1
+            for tag, counters in self._tags.items():
+                if counters.current_bytes != by_tag_bytes.get(tag, 0):
+                    problems.append(
+                        f"tag {tag!r}: current_bytes={counters.current_bytes} but "
+                        f"stored entries sum to {by_tag_bytes.get(tag, 0)}"
+                    )
+                if counters.entries != by_tag_entries.get(tag, 0):
+                    problems.append(
+                        f"tag {tag!r}: entries={counters.entries} but "
+                        f"{by_tag_entries.get(tag, 0)} stored"
+                    )
+            if problems:
+                raise RuntimeError(
+                    "plan pool accounting is inconsistent: " + "; ".join(problems)
+                )
+            return {"current_bytes": actual_bytes, "entries": len(self._entries)}
 
 
 # --------------------------------------------------------------------------- #

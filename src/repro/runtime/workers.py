@@ -46,6 +46,9 @@ FFT_WORKERS_ENV_VAR = "REPRO_FFT_WORKERS"
 #: Per-subsystem override for the thread-pooled stencil executor.
 INTERP_WORKERS_ENV_VAR = "REPRO_INTERP_WORKERS"
 
+#: Per-subsystem override for the registration service's job workers.
+SERVICE_WORKERS_ENV_VAR = "REPRO_SERVICE_WORKERS"
+
 
 def _all_cores() -> int:
     return max(1, os.cpu_count() or 1)
@@ -68,6 +71,10 @@ class SubsystemPolicy:
 SUBSYSTEMS: Dict[str, SubsystemPolicy] = {
     "fft": SubsystemPolicy(FFT_WORKERS_ENV_VAR, _all_cores),
     "interp": SubsystemPolicy(INTERP_WORKERS_ENV_VAR, _one),
+    # job-level fan-out of repro.service: every worker drives whole solves,
+    # so the default is one worker per core (the per-kernel subsystems
+    # above still bound the threading *inside* each solve)
+    "service": SubsystemPolicy(SERVICE_WORKERS_ENV_VAR, _all_cores),
 }
 
 _default_workers: Optional[int] = None

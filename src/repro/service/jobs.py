@@ -1,0 +1,255 @@
+"""Job records, specs and handles of the registration service.
+
+A *job* is one unit of queued work: either a full registration solve
+(:class:`RegistrationJobSpec`, executed through the ordinary
+:func:`repro.register` path so the service is a thin facade over
+:class:`~repro.core.problem.RegistrationProblem`, never a second code
+path), or a distributed transport solve (:class:`TransportJobSpec` — apply
+a velocity to a field, e.g. the atlas normalization pass), which the
+micro-batcher can merge with compatible neighbours into one
+``solve_state_many`` stack.
+
+The submitting thread holds a :class:`Job` *handle*; the service mutates
+the underlying :class:`JobRecord` as the job moves through its lifecycle::
+
+    QUEUED -> RUNNING -> DONE
+                      -> FAILED     (worker exception; traceback recorded)
+    QUEUED -> CANCELLED             (cancel() before a worker claimed it)
+
+A worker exception never poisons the queue: the failure is recorded on the
+job (``status=failed`` + traceback text) and the worker moves on; waiting
+callers are released and see :class:`JobFailedError` when they ask for the
+result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.optim.gauss_newton import SolverOptions
+from repro.spectral.grid import Grid
+
+__all__ = [
+    "Job",
+    "JobCancelledError",
+    "JobFailedError",
+    "JobRecord",
+    "JobStatus",
+    "RegistrationJobSpec",
+    "TransportJobSpec",
+]
+
+
+class JobStatus(str, Enum):
+    """Lifecycle state of one service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        """True for the three terminal states."""
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+class JobFailedError(RuntimeError):
+    """Raised by :meth:`Job.result` when the worker raised.
+
+    Carries the failed job's record so callers can reach the original
+    exception text and traceback without digging through the service.
+    """
+
+    def __init__(self, record: "JobRecord") -> None:
+        super().__init__(
+            f"job {record.job_id} ({record.kind}) failed: {record.error}"
+        )
+        self.record = record
+
+
+class JobCancelledError(RuntimeError):
+    """Raised by :meth:`Job.result` for a job cancelled before it ran."""
+
+
+@dataclass
+class RegistrationJobSpec:
+    """One queued registration: the arguments of :func:`repro.register`.
+
+    ``kind = "register"``.  Registrations are never merged by the
+    micro-batcher (each solve is an independent Gauss-Newton iteration);
+    their cross-request sharing happens in the process-wide plan pool,
+    spectral symbol store and worker pools instead.
+    """
+
+    template: np.ndarray
+    reference: np.ndarray
+    beta: float = 1e-2
+    regularization: str = "h1"
+    incompressible: bool = False
+    num_time_steps: int = 4
+    gauss_newton: bool = True
+    optimizer: str = "gauss_newton"
+    smooth_sigma: float = 1.0
+    normalize: bool = True
+    interpolation: str = "cubic_bspline"
+    options: Optional[SolverOptions] = None
+    grid: Optional[Grid] = None
+
+    kind = "register"
+
+
+@dataclass
+class TransportJobSpec:
+    """One queued (distributed, pure-advection) transport solve.
+
+    ``kind = "transport"``.  Transport the scalar *moving* field over
+    ``t in [0, 1]`` with *velocity* on a simulated ``num_tasks``-rank pencil
+    decomposition.  Jobs that agree on (grid, time step, task layout,
+    kernel backend, stencil-plan layout **and velocity content**) are
+    micro-batched: the whole group ships through one
+    :meth:`~repro.parallel.transport.DistributedTransportSolver.solve_state_many`
+    stack — one ghost-exchange round and one return ``alltoallv`` per time
+    step for the entire batch — with results bitwise identical to running
+    every job alone.
+    """
+
+    velocity: np.ndarray
+    moving: np.ndarray
+    num_time_steps: int = 4
+    num_tasks: int = 4
+    grid: Optional[Grid] = None
+
+    kind = "transport"
+
+    def resolved_grid(self) -> Grid:
+        """The job's grid (built from the field shape when not given)."""
+        return self.grid if self.grid is not None else Grid(self.moving.shape)
+
+
+@dataclass
+class JobRecord:
+    """Mutable service-side state of one job (shared with the handle)."""
+
+    job_id: int
+    kind: str
+    status: JobStatus = JobStatus.QUEUED
+    submitted_at: float = dataclass_field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    batch_size: int = 1
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    metrics: Dict[str, Any] = dataclass_field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (the job section of the artifact schema)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "batch_size": self.batch_size,
+            "error": self.error,
+            "traceback": self.traceback,
+            "metrics": self.metrics,
+        }
+
+
+_job_ids = itertools.count(1)
+
+
+class Job:
+    """Caller-side handle of one submitted job."""
+
+    def __init__(self, spec, service) -> None:
+        self.spec = spec
+        self.record = JobRecord(job_id=next(_job_ids), kind=spec.kind)
+        self._service = service
+        self._done = threading.Event()
+        self._result: Any = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def job_id(self) -> int:
+        return self.record.job_id
+
+    @property
+    def status(self) -> JobStatus:
+        return self.record.status
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    # ------------------------------------------------------------------ #
+    def cancel(self) -> bool:
+        """Cancel the job if it is still queued.
+
+        Returns ``True`` when the job was removed from the queue (it will
+        never run; waiting callers see :class:`JobCancelledError`), and
+        ``False`` when a worker already claimed it — running solves are not
+        interrupted.
+        """
+        return self._service._cancel(self)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (or *timeout*)."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None):
+        """The job's result, blocking until it finishes.
+
+        Raises
+        ------
+        TimeoutError
+            The job did not finish within *timeout* seconds.
+        JobFailedError
+            The worker raised; the record carries the traceback.
+        JobCancelledError
+            The job was cancelled before a worker claimed it.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} did not finish within {timeout} s "
+                f"(status: {self.status.value})"
+            )
+        if self.record.status is JobStatus.FAILED:
+            raise JobFailedError(self.record)
+        if self.record.status is JobStatus.CANCELLED:
+            raise JobCancelledError(f"job {self.job_id} was cancelled")
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    # service-side completion hooks
+    # ------------------------------------------------------------------ #
+    def _complete(self, result) -> None:
+        self._result = result
+        self.record.status = JobStatus.DONE
+        self.record.finished_at = time.time()
+        self._done.set()
+
+    def _fail(self, error: str, traceback_text: str) -> None:
+        self.record.status = JobStatus.FAILED
+        self.record.error = error
+        self.record.traceback = traceback_text
+        self.record.finished_at = time.time()
+        self._done.set()
+
+    def _cancelled(self) -> None:
+        self.record.status = JobStatus.CANCELLED
+        self.record.finished_at = time.time()
+        self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job(id={self.job_id}, kind={self.record.kind!r}, status={self.status.value})"

@@ -1,0 +1,116 @@
+"""Thread-safe submission queue with batch-aware claiming.
+
+The queue is a plain FIFO of :class:`~repro.service.jobs.Job` handles with
+one twist: workers claim *batches*, not jobs.  :meth:`SubmissionQueue.
+claim_batch` pops the oldest queued job and — when it is batchable — scans
+the remaining queue for jobs with the same :func:`~repro.service.batching.
+batch_key`, pulling up to ``max_batch`` of them out of order.  Compatible
+jobs therefore coalesce at *claim* time: whatever accumulated while the
+workers were busy merges into one shared solve, with no artificial waiting
+when the queue is short.
+
+Cancellation races are resolved here: a job can be cancelled exactly while
+it is still in the deque.  Once :meth:`claim_batch` hands it to a worker it
+is ``RUNNING`` and :meth:`cancel` returns ``False``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.service.batching import batch_key
+from repro.service.jobs import Job, JobStatus
+
+__all__ = ["SubmissionQueue"]
+
+
+class SubmissionQueue:
+    """FIFO of queued jobs with compatible-batch claiming."""
+
+    def __init__(self) -> None:
+        self._jobs: Deque[Job] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Job) -> None:
+        """Append *job* and wake one waiting worker."""
+        with self._not_empty:
+            if self._closed:
+                raise RuntimeError("queue is closed; no further submissions accepted")
+            self._jobs.append(job)
+            self._not_empty.notify()
+
+    def cancel(self, job: Job) -> bool:
+        """Remove *job* if still queued; ``False`` once a worker claimed it."""
+        with self._lock:
+            try:
+                self._jobs.remove(job)
+            except ValueError:
+                return False
+        job._cancelled()
+        return True
+
+    def close(self) -> None:
+        """Refuse new submissions and wake every blocked worker.
+
+        Jobs already queued stay claimable so a draining shutdown finishes
+        them; :meth:`claim_batch` returns ``None`` once the queue is both
+        closed and empty.
+        """
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def claim_batch(self, max_batch: int = 1, timeout: Optional[float] = None) -> Optional[List[Job]]:
+        """Claim the next job plus up to ``max_batch - 1`` compatible peers.
+
+        Blocks until a job is available; returns ``None`` when the queue is
+        closed and drained (worker shutdown) or, with a *timeout*, when
+        nothing arrived in time.  Every returned job is marked ``RUNNING``
+        before the lock is released, closing the cancellation window.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._jobs:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._not_empty.wait(remaining)
+            lead = self._jobs.popleft()
+            batch = [lead]
+            key = batch_key(lead.spec)
+            if key is not None and max_batch > 1:
+                kept: List[Job] = []
+                for job in self._jobs:
+                    if len(batch) < max_batch and batch_key(job.spec) == key:
+                        batch.append(job)
+                    else:
+                        kept.append(job)
+                if len(batch) > 1:
+                    self._jobs = deque(kept)
+            now = time.time()
+            for job in batch:
+                job.record.status = JobStatus.RUNNING
+                job.record.started_at = now
+                job.record.batch_size = len(batch)
+        return batch

@@ -1,0 +1,340 @@
+"""The registration service: queued jobs, worker fan-out, micro-batching.
+
+:class:`RegistrationService` is the async front end of the solver: callers
+submit work (full registrations or distributed transport solves) and get
+:class:`~repro.service.jobs.Job` handles back immediately; a pool of
+daemon worker threads drains the :class:`~repro.service.queue.
+SubmissionQueue` and executes every job through the *existing* synchronous
+paths — :func:`repro.register` and :class:`~repro.parallel.transport.
+DistributedTransportSolver` — so a queued solve is numerically the very
+solve a direct call would have produced.
+
+What the service adds over a loop of direct calls:
+
+* **Cross-request plan reuse.**  All workers share the process-wide plan
+  pool; with the pool's single-flight builds, N concurrent jobs planning
+  the same velocity perform one build and N-1 warm hits.
+* **Micro-batching.**  Compatible transport jobs (same grid, time step,
+  task layout, backend, stencil layout and velocity — see
+  :func:`~repro.service.batching.batch_key`) are claimed together and ride
+  one ``solve_state_many`` stack: one ghost-exchange round and one return
+  ``alltoallv`` per time step for the whole batch, results bitwise
+  identical to solving each job alone.
+* **Observability.**  Every job records metrics (plan-pool delta, pool hit
+  rate, layout-decision counts, communication-ledger summary, timings) and
+  can be journaled to a per-job JSON artifact
+  (:mod:`repro.service.artifacts`).
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import RegistrationConfig
+from repro.core.registration import register
+from repro.parallel.comm import SimulatedCommunicator
+from repro.parallel.pencil import PencilDecomposition
+from repro.parallel.transport import DistributedTransportSolver
+from repro.runtime.layout import layout_decision_log
+from repro.runtime.plan_pool import get_plan_pool
+from repro.runtime.workers import resolve_workers
+from repro.service.artifacts import write_job_artifact
+from repro.service.jobs import (
+    Job,
+    JobStatus,
+    RegistrationJobSpec,
+    TransportJobSpec,
+)
+from repro.service.queue import SubmissionQueue
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("service.workers")
+
+__all__ = ["RegistrationService"]
+
+
+def _hit_rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+class RegistrationService:
+    """Thread-pooled job service over the registration solver.
+
+    Parameters
+    ----------
+    config:
+        Execution configuration applied process-wide at service start and
+        passed to every registration solve
+        (:class:`repro.config.RegistrationConfig`); ``None`` keeps the
+        ambient environment-driven defaults.
+    num_workers:
+        Worker threads draining the queue.  ``None`` resolves the unified
+        worker policy for the ``"service"`` subsystem
+        (``REPRO_SERVICE_WORKERS`` > ``REPRO_WORKERS`` > one per core).
+    max_batch:
+        Upper bound on the micro-batch size (1 disables batching).
+    artifacts_dir:
+        When set, every finished job (including failures) is journaled to
+        ``<artifacts_dir>/job-<id>.json``.
+
+    The service is a context manager; leaving the ``with`` block drains the
+    queue and joins the workers::
+
+        with RegistrationService(max_batch=4) as service:
+            jobs = [service.submit_transport(spec) for spec in specs]
+            results = service.gather(jobs)
+    """
+
+    def __init__(
+        self,
+        config: Optional[RegistrationConfig] = None,
+        num_workers: Optional[int] = None,
+        max_batch: int = 4,
+        artifacts_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.config = config
+        if config is not None:
+            config.apply()
+        self.num_workers = resolve_workers("service", num_workers)
+        self.max_batch = int(max_batch)
+        self.artifacts_dir = Path(artifacts_dir) if artifacts_dir is not None else None
+        self.queue = SubmissionQueue()
+        self._jobs: List[Job] = []
+        self._stats_lock = threading.Lock()
+        self._batches_executed = 0
+        self._batched_jobs = 0
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-{index}",
+                daemon=True,
+            )
+            for index in range(self.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # submission API
+    # ------------------------------------------------------------------ #
+    def submit_registration(self, spec: RegistrationJobSpec) -> Job:
+        """Queue one registration solve; returns immediately with a handle."""
+        return self._submit(spec)
+
+    def submit_transport(self, spec: TransportJobSpec) -> Job:
+        """Queue one distributed transport solve (micro-batchable)."""
+        return self._submit(spec)
+
+    def _submit(self, spec) -> Job:
+        job = Job(spec, self)
+        with self._stats_lock:
+            self._jobs.append(job)
+        self.queue.submit(job)
+        return job
+
+    def _cancel(self, job: Job) -> bool:
+        return self.queue.cancel(job)
+
+    def gather(
+        self,
+        jobs: Sequence[Job],
+        timeout: Optional[float] = None,
+        raise_on_error: bool = True,
+    ) -> List[Any]:
+        """Results of *jobs* in submission order, blocking until all finish.
+
+        With ``raise_on_error=False``, failed/cancelled jobs yield ``None``
+        instead of raising, so a partial atlas run can keep its survivors.
+        """
+        results: List[Any] = []
+        for job in jobs:
+            if raise_on_error:
+                results.append(job.result(timeout))
+            else:
+                try:
+                    results.append(job.result(timeout))
+                except Exception:  # noqa: BLE001 - deliberate partial gather
+                    results.append(None)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self) -> None:
+        """Block until every submitted job has reached a terminal state."""
+        with self._stats_lock:
+            jobs = list(self._jobs)
+        for job in jobs:
+            job.wait()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the service: optionally drain, then join the workers.
+
+        ``drain=True`` (default) lets queued jobs finish; ``drain=False``
+        cancels everything still queued.  Idempotent.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if not drain:
+            with self._stats_lock:
+                jobs = list(self._jobs)
+            for job in jobs:
+                if job.status is JobStatus.QUEUED:
+                    self.queue.cancel(job)
+        self.queue.close()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "RegistrationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def service_stats(self) -> Dict[str, Any]:
+        """Aggregate service counters plus the shared pool's statistics."""
+        with self._stats_lock:
+            jobs = list(self._jobs)
+            batches = self._batches_executed
+            batched_jobs = self._batched_jobs
+        by_status: Dict[str, int] = {}
+        for job in jobs:
+            by_status[job.status.value] = by_status.get(job.status.value, 0) + 1
+        pool = get_plan_pool().stats
+        return {
+            "num_workers": self.num_workers,
+            "max_batch": self.max_batch,
+            "jobs_submitted": len(jobs),
+            "jobs_by_status": by_status,
+            "batches_executed": batches,
+            "batched_jobs": batched_jobs,
+            "plan_pool": pool.as_dict(),
+            "plan_pool_hit_rate": _hit_rate(pool.hits, pool.misses),
+            "layout_decisions": layout_decision_log().counts(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.claim_batch(self.max_batch)
+            if batch is None:
+                return
+            try:
+                self._execute_batch(batch)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                # _execute_batch already records failures per job; this only
+                # triggers on bookkeeping bugs.  Fail the batch, keep going.
+                text = traceback.format_exc()
+                for job in batch:
+                    if not job.done:
+                        job._fail(str(exc), text)
+                LOGGER.exception("service worker error while executing a batch")
+
+    def _execute_batch(self, batch: List[Job]) -> None:
+        with self._stats_lock:
+            self._batches_executed += 1
+            if len(batch) > 1:
+                self._batched_jobs += len(batch)
+        kind = batch[0].record.kind
+        if kind == "transport" and len(batch) >= 1:
+            self._execute_transport_batch(batch)
+        else:
+            for job in batch:
+                self._execute_registration(job)
+
+    def _execute_registration(self, job: Job) -> None:
+        spec: RegistrationJobSpec = job.spec
+        pool = get_plan_pool()
+        pool_before = pool.stats
+        decisions_before = layout_decision_log().total
+        try:
+            result = register(
+                spec.template,
+                spec.reference,
+                beta=spec.beta,
+                regularization=spec.regularization,
+                incompressible=spec.incompressible,
+                num_time_steps=spec.num_time_steps,
+                gauss_newton=spec.gauss_newton,
+                optimizer=spec.optimizer,
+                options=spec.options,
+                grid=spec.grid,
+                smooth_sigma=spec.smooth_sigma,
+                normalize=spec.normalize,
+                interpolation=spec.interpolation,
+                config=self.config,
+            )
+        except Exception as exc:  # noqa: BLE001 - job-level isolation
+            job._fail(str(exc), traceback.format_exc())
+            self._journal(job)
+            return
+        delta = pool.stats - pool_before
+        job.record.metrics = {
+            "result": result.to_dict(),
+            "plan_pool_delta": delta.as_dict(),
+            "plan_pool_hit_rate": _hit_rate(delta.hits, delta.misses),
+            "layout_decisions": layout_decision_log().total - decisions_before,
+        }
+        job._complete(result)
+        self._journal(job)
+
+    def _execute_transport_batch(self, batch: List[Job]) -> None:
+        lead: TransportJobSpec = batch[0].spec
+        grid = lead.resolved_grid()
+        decomposition = PencilDecomposition.from_num_tasks(grid.shape, lead.num_tasks)
+        comm = SimulatedCommunicator(decomposition.num_tasks)
+        pool = get_plan_pool()
+        pool_before = pool.stats
+        decisions_before = layout_decision_log().total
+        try:
+            solver = DistributedTransportSolver(
+                grid,
+                decomposition,
+                num_time_steps=lead.num_time_steps,
+                comm=comm,
+            )
+            templates = np.stack([job.spec.moving for job in batch], axis=0)
+            transported = solver.solve_state_many(lead.velocity, templates)
+        except Exception as exc:  # noqa: BLE001 - job-level isolation
+            text = traceback.format_exc()
+            for job in batch:
+                job._fail(str(exc), text)
+                self._journal(job)
+            return
+        delta = pool.stats - pool_before
+        ledger = comm.ledger.summary()
+        metrics = {
+            "batch_size": len(batch),
+            "plan_pool_delta": delta.as_dict(),
+            "plan_pool_hit_rate": _hit_rate(delta.hits, delta.misses),
+            "layout_decisions": layout_decision_log().total - decisions_before,
+            "communication": ledger,
+            "ghost_exchange_calls": ledger.get("ghost_exchange", {}).get("calls", 0),
+        }
+        for index, job in enumerate(batch):
+            job.record.metrics = dict(metrics)
+            job._complete(transported[index])
+            self._journal(job)
+
+    def _journal(self, job: Job) -> None:
+        if self.artifacts_dir is None:
+            return
+        try:
+            write_job_artifact(self.artifacts_dir, job)
+        except Exception:  # noqa: BLE001 - journaling must never fail a job
+            LOGGER.exception("failed to write the artifact of job %d", job.job_id)

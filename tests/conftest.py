@@ -18,8 +18,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.runtime.layout import layout_decision_log
+from repro.runtime.layout import layout_decision_log, set_auto_fraction
 from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
+from repro.runtime.workers import set_default_workers
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 from repro.transport.kernels import set_default_plan_layout
@@ -49,10 +50,14 @@ def _fresh_plan_pool():
     """
     reset_plan_pool()
     set_default_plan_layout(None)
+    set_auto_fraction(None)
+    set_default_workers(None)
     layout_decision_log().reset()
     yield
     reset_plan_pool()
     set_default_plan_layout(None)
+    set_auto_fraction(None)
+    set_default_workers(None)
     layout_decision_log().reset()
 
 

@@ -1,0 +1,181 @@
+"""Tests of the consolidated :class:`repro.config.RegistrationConfig`."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import RegistrationConfig
+from repro.core import registration as registration_module
+from repro.core.registration import RegistrationSolver, register
+from repro.data.synthetic import synthetic_registration_problem
+from repro.runtime.layout import auto_streaming_fraction
+from repro.runtime.plan_pool import configure_plan_pool, get_plan_pool
+from repro.runtime.workers import resolve_workers
+from repro.transport.kernels import default_plan_layout, set_default_plan_layout
+
+
+@pytest.fixture()
+def tiny_problem():
+    return synthetic_registration_problem(8)
+
+
+@pytest.fixture()
+def fast_options():
+    from repro.core.optim.gauss_newton import SolverOptions
+
+    return SolverOptions(max_newton_iterations=1, max_krylov_iterations=3)
+
+
+class TestConstruction:
+    def test_default_config_is_all_none(self):
+        config = RegistrationConfig()
+        assert all(value is None for value in config.as_dict().values())
+
+    def test_validation_of_bad_fields(self):
+        with pytest.raises(ValueError, match="workers"):
+            RegistrationConfig(workers=0)
+        with pytest.raises(ValueError, match="plan_pool_bytes"):
+            RegistrationConfig(plan_pool_bytes=-1)
+        with pytest.raises(ValueError, match="auto_fraction"):
+            RegistrationConfig(auto_fraction=1.5)
+        with pytest.raises(ValueError, match="auto_fraction"):
+            RegistrationConfig(auto_fraction=0.0)
+
+    def test_replace_derives_a_variant(self):
+        base = RegistrationConfig(fft_backend="numpy")
+        derived = base.replace(workers=2)
+        assert derived.fft_backend == "numpy"
+        assert derived.workers == 2
+        assert base.workers is None  # frozen: the base is untouched
+
+    def test_from_env_snapshots_concrete_values(self):
+        config = RegistrationConfig.from_env()
+        assert config.fft_backend is not None
+        assert config.interp_backend is not None
+        assert config.plan_layout in ("auto", "lean", "fat", "streaming")
+        assert config.workers >= 1
+        assert config.plan_pool_bytes == get_plan_pool().max_bytes
+        assert 0.0 < config.auto_fraction <= 1.0
+
+
+class TestValidateAndApply:
+    def test_validate_rejects_unknown_backend(self):
+        with pytest.raises((ValueError, KeyError)):
+            RegistrationConfig(fft_backend="no-such-engine").validate()
+
+    def test_validate_rejects_unknown_layout(self):
+        with pytest.raises(ValueError, match="layout"):
+            RegistrationConfig(plan_layout="no-such-layout").validate()
+
+    def test_validate_surfaces_malformed_env(self, monkeypatch):
+        from repro.runtime.plan_pool import POOL_BYTES_ENV_VAR
+
+        monkeypatch.setenv(POOL_BYTES_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match=POOL_BYTES_ENV_VAR):
+            RegistrationConfig().validate()
+
+    def test_apply_pushes_only_set_fields(self):
+        budget_before = get_plan_pool().max_bytes
+        layout_before = default_plan_layout()
+        RegistrationConfig(auto_fraction=0.25).apply()
+        assert auto_streaming_fraction() == 0.25
+        # unset fields leave the other process-wide knobs untouched
+        assert get_plan_pool().max_bytes == budget_before
+        assert default_plan_layout() == layout_before
+
+    def test_apply_sets_layout_workers_and_budget(self):
+        try:
+            RegistrationConfig(
+                plan_layout="streaming", workers=3, plan_pool_bytes=123456
+            ).apply()
+            assert default_plan_layout() == "streaming"
+            assert resolve_workers("interp") == 3
+            assert get_plan_pool().max_bytes == 123456
+        finally:
+            set_default_plan_layout(None)
+            configure_plan_pool(None)
+
+    def test_apply_returns_self_for_chaining(self):
+        config = RegistrationConfig()
+        assert config.apply() is config
+
+
+class TestSolverIntegration:
+    def test_solver_takes_backends_from_config(self, tiny_problem, fast_options):
+        solver = RegistrationSolver(
+            options=fast_options,
+            config=RegistrationConfig(fft_backend="numpy", interp_backend="scipy"),
+        )
+        result = solver.run(tiny_problem.template, tiny_problem.reference)
+        assert result.summary()["fft_backend"] == "numpy"
+        assert result.summary()["interp_backend"] == "scipy"
+
+    def test_explicit_backend_beats_config(self, tiny_problem, fast_options):
+        solver = RegistrationSolver(
+            options=fast_options,
+            fft_backend="scipy",
+            config=RegistrationConfig(fft_backend="numpy"),
+        )
+        result = solver.run(tiny_problem.template, tiny_problem.reference)
+        assert result.summary()["fft_backend"] == "scipy"
+
+    def test_register_accepts_config(self, tiny_problem, fast_options):
+        result = register(
+            tiny_problem.template,
+            tiny_problem.reference,
+            options=fast_options,
+            config=RegistrationConfig(fft_backend="numpy"),
+        )
+        assert result.summary()["fft_backend"] == "numpy"
+
+
+class TestLegacyKwargShim:
+    def test_legacy_kwargs_warn_once_and_keep_working(self, tiny_problem, fast_options, monkeypatch):
+        monkeypatch.setattr(registration_module, "_legacy_kwargs_warned", False)
+        with pytest.warns(DeprecationWarning, match="RegistrationConfig"):
+            result = register(
+                tiny_problem.template,
+                tiny_problem.reference,
+                options=fast_options,
+                fft_backend="numpy",
+            )
+        assert result.summary()["fft_backend"] == "numpy"
+        # second use: the warning already fired this process
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            register(
+                tiny_problem.template,
+                tiny_problem.reference,
+                options=fast_options,
+                fft_backend="numpy",
+            )
+
+    def test_solver_class_does_not_warn(self, tiny_problem, fast_options, monkeypatch):
+        monkeypatch.setattr(registration_module, "_legacy_kwargs_warned", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            RegistrationSolver(options=fast_options, fft_backend="numpy").run(
+                tiny_problem.template, tiny_problem.reference
+            )
+
+
+class TestResultSchema:
+    def test_to_dict_is_versioned_and_json_ready(self, tiny_problem, fast_options):
+        import json
+
+        result = register(
+            tiny_problem.template, tiny_problem.reference, options=fast_options
+        )
+        doc = result.to_dict()
+        assert doc["schema"] == "repro.registration-result"
+        assert doc["schema_version"] == 1
+        text = json.dumps(doc)  # no numpy scalars may survive
+        round_tripped = json.loads(text)
+        assert round_tripped["summary"]["relative_residual"] == pytest.approx(
+            result.relative_residual
+        )
+        assert isinstance(round_tripped["plan_pool"]["hits"], int)
+        assert np.isfinite(round_tripped["elapsed_seconds"])

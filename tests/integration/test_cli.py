@@ -271,3 +271,93 @@ class TestScalingCommand:
 
     def test_missing_arguments_is_an_error(self, capsys):
         assert main(["scaling"]) == 2
+
+
+class TestServeCommand:
+    def _serve_args(self, *extra):
+        return [
+            "serve",
+            "--synthetic", "8",
+            "--subjects", "2",
+            "--beta", "1e-1",
+            "--max-newton", "1",
+            "--max-krylov", "3",
+            "--num-workers", "2",
+            *extra,
+        ]
+
+    def test_serve_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_synthetic_atlas_run(self, tmp_path, capsys):
+        out_path = tmp_path / "atlas.npz"
+        code = main(self._serve_args("--output", str(out_path)))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Atlas registration summary" in out
+        assert "plan pool:" in out
+        data = np.load(out_path)
+        assert data["mean_deformed"].shape == (8, 8, 8)
+        assert data["relative_residuals"].shape == (2,)
+
+    def test_serve_writes_job_artifacts(self, tmp_path, capsys):
+        art_dir = tmp_path / "artifacts"
+        code = main(self._serve_args("--artifacts-dir", str(art_dir)))
+        assert code == 0
+        artifacts = sorted(art_dir.glob("job-*.json"))
+        assert len(artifacts) == 2
+        import json
+
+        doc = json.loads(artifacts[0].read_text())
+        assert doc["schema"] == "repro.service-job"
+        assert doc["job"]["status"] == "done"
+        assert doc["job"]["metrics"]["result"]["schema"] == "repro.registration-result"
+
+    def test_serve_from_npz_population(self, tmp_path, capsys):
+        population_path = tmp_path / "population.npz"
+        problem = synthetic_registration_problem(8)
+        np.savez(
+            population_path,
+            reference=problem.reference,
+            subjects=np.stack([problem.template, problem.template], axis=0),
+        )
+        code = main(
+            [
+                "serve",
+                "--input", str(population_path),
+                "--beta", "1e-1",
+                "--max-newton", "1",
+                "--max-krylov", "3",
+                "--num-workers", "1",
+            ]
+        )
+        assert code == 0
+        assert "num_subjects" in capsys.readouterr().out
+
+    def test_serve_npz_missing_keys_is_a_clean_error(self, tmp_path, capsys):
+        bad_path = tmp_path / "bad.npz"
+        np.savez(bad_path, foo=np.zeros(3))
+        code = main(["serve", "--input", str(bad_path)])
+        assert code == 2
+        assert "subjects" in capsys.readouterr().err
+
+    def test_serve_accepts_config_flags(self, capsys):
+        code = main(self._serve_args("--fft-backend", "numpy", "--plan-layout", "lean"))
+        assert code == 0
+
+    def test_serve_main_entry_point(self, capsys):
+        from repro.cli import serve_main
+
+        code = serve_main(
+            [
+                "--synthetic", "8",
+                "--subjects", "2",
+                "--beta", "1e-1",
+                "--max-newton", "1",
+                "--max-krylov", "3",
+                "--num-workers", "1",
+            ]
+        )
+        assert code == 0
+        assert "Atlas registration summary" in capsys.readouterr().out

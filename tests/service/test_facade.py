@@ -1,0 +1,61 @@
+"""The stable top-level facade: everything a downstream user imports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.optim.gauss_newton import SolverOptions
+from repro.data.synthetic import synthetic_registration_problem
+
+
+class TestFacadeExports:
+    def test_public_names(self):
+        for name in (
+            "register",
+            "RegistrationConfig",
+            "RegistrationResult",
+            "RegistrationSolver",
+            "RegistrationService",
+            "SolverOptions",
+            "Grid",
+            "Job",
+            "JobStatus",
+            "submit",
+            "gather",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_config_identity(self):
+        from repro.config import RegistrationConfig
+
+        assert repro.RegistrationConfig is RegistrationConfig
+
+
+class TestDefaultServiceHelpers:
+    @pytest.fixture(autouse=True)
+    def _clean_default_service(self):
+        from repro.service import shutdown_default_service
+
+        shutdown_default_service()
+        yield
+        shutdown_default_service()
+
+    def test_submit_and_gather_roundtrip(self):
+        problem = synthetic_registration_problem(8)
+        options = SolverOptions(max_newton_iterations=1, max_krylov_iterations=3)
+        jobs = [
+            repro.submit(problem.template, problem.reference, options=options)
+            for _ in range(2)
+        ]
+        results = repro.gather(jobs, timeout=120)
+        assert len(results) == 2
+        np.testing.assert_array_equal(results[0].velocity, results[1].velocity)
+        assert all(job.status is repro.JobStatus.DONE for job in jobs)
+
+    def test_default_service_is_a_singleton(self):
+        from repro.service import default_service
+
+        assert default_service() is default_service()

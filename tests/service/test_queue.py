@@ -1,0 +1,134 @@
+"""Submission-queue semantics: FIFO, cancellation, batch claiming, close."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.jobs import Job, JobCancelledError, JobStatus, TransportJobSpec
+from repro.service.queue import SubmissionQueue
+
+
+class _NullService:
+    """Stand-in submitter side: cancellation goes straight to the queue."""
+
+    def __init__(self, queue):
+        self.queue = queue
+
+    def _cancel(self, job):
+        return self.queue.cancel(job)
+
+
+def _transport_spec(seed=0, shape=(8, 8, 8)):
+    rng = np.random.default_rng(seed)
+    velocity = rng.standard_normal((3, *shape))
+    moving = rng.standard_normal(shape)
+    return TransportJobSpec(velocity=velocity, moving=moving)
+
+
+@pytest.fixture()
+def queue():
+    return SubmissionQueue()
+
+
+@pytest.fixture()
+def service(queue):
+    return _NullService(queue)
+
+
+class TestFifoAndClaim:
+    def test_claim_returns_oldest_first(self, queue, service):
+        jobs = [Job(_transport_spec(seed=i), service) for i in range(3)]
+        for job in jobs:
+            queue.submit(job)
+        first = queue.claim_batch(max_batch=1)
+        assert first == [jobs[0]]
+        assert first[0].status is JobStatus.RUNNING
+        assert first[0].record.started_at is not None
+
+    def test_claim_batches_compatible_jobs(self, queue, service):
+        spec = _transport_spec(seed=7)
+        same = [Job(spec, service) for _ in range(3)]
+        other = Job(_transport_spec(seed=8), service)  # different velocity
+        queue.submit(same[0])
+        queue.submit(other)
+        queue.submit(same[1])
+        queue.submit(same[2])
+        batch = queue.claim_batch(max_batch=4)
+        assert batch == [same[0], same[1], same[2]]
+        assert all(job.record.batch_size == 3 for job in batch)
+        # the incompatible job stays queued, in order
+        assert queue.claim_batch(max_batch=4) == [other]
+
+    def test_max_batch_caps_the_merge(self, queue, service):
+        spec = _transport_spec(seed=3)
+        jobs = [Job(spec, service) for _ in range(5)]
+        for job in jobs:
+            queue.submit(job)
+        assert len(queue.claim_batch(max_batch=2)) == 2
+        assert len(queue.claim_batch(max_batch=2)) == 2
+        assert len(queue.claim_batch(max_batch=2)) == 1
+
+    def test_claim_timeout_returns_none(self, queue):
+        assert queue.claim_batch(max_batch=1, timeout=0.05) is None
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, queue, service):
+        job = Job(_transport_spec(), service)
+        queue.submit(job)
+        assert job.cancel() is True
+        assert job.status is JobStatus.CANCELLED
+        assert job.done
+        with pytest.raises(JobCancelledError):
+            job.result(timeout=1.0)
+        # the queue no longer hands it out
+        assert queue.claim_batch(max_batch=1, timeout=0.05) is None
+
+    def test_cancel_claimed_job_is_refused(self, queue, service):
+        job = Job(_transport_spec(), service)
+        queue.submit(job)
+        (claimed,) = queue.claim_batch(max_batch=1)
+        assert claimed is job
+        assert job.cancel() is False
+        assert job.status is JobStatus.RUNNING
+
+    def test_cancelled_job_never_reaches_a_waiting_worker(self, queue, service):
+        results = []
+        worker = threading.Thread(
+            target=lambda: results.append(queue.claim_batch(max_batch=1)), daemon=True
+        )
+        job = Job(_transport_spec(), service)
+        queue.submit(job)
+        assert job.cancel() is True
+        worker.start()
+        queue.close()
+        worker.join(timeout=5.0)
+        assert results == [None]
+
+
+class TestClose:
+    def test_close_refuses_new_submissions(self, queue, service):
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(Job(_transport_spec(), service))
+
+    def test_close_drains_queued_jobs_first(self, queue, service):
+        job = Job(_transport_spec(), service)
+        queue.submit(job)
+        queue.close()
+        assert queue.claim_batch(max_batch=1) == [job]
+        assert queue.claim_batch(max_batch=1) is None
+
+    def test_close_releases_blocked_workers(self, queue):
+        results = []
+        worker = threading.Thread(
+            target=lambda: results.append(queue.claim_batch(max_batch=1)), daemon=True
+        )
+        worker.start()
+        queue.close()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert results == [None]
