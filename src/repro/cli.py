@@ -53,7 +53,7 @@ from repro.config import RegistrationConfig
 from repro.core.optim.gauss_newton import SolverOptions
 from repro.core.registration import RegistrationSolver
 from repro.data.brain import brain_registration_pair
-from repro.data.io import load_problem
+from repro.data.io import load_problem, memmap_npz_member, open_problem
 from repro.data.synthetic import synthetic_population, synthetic_registration_problem
 from repro.parallel.machines import get_machine
 from repro.parallel.performance import RegistrationCostModel
@@ -68,6 +68,7 @@ from repro.transport.kernels import (
     available_backends as available_interp_backends,
     registered_backends as registered_interp_backends,
 )
+from repro.transport.sources import FIELD_SOURCE_MODES, default_field_source
 from repro.utils.logging import set_verbosity
 
 
@@ -138,7 +139,18 @@ def _add_config_flags(sub: argparse.ArgumentParser) -> None:
         help=(
             "shared worker count for threaded kernels (default: $REPRO_WORKERS; "
             "per-subsystem $REPRO_FFT_WORKERS / $REPRO_INTERP_WORKERS / "
-            "$REPRO_SERVICE_WORKERS override it)"
+            "$REPRO_SERVICE_WORKERS / $REPRO_IO_WORKERS override it)"
+        ),
+    )
+    sub.add_argument(
+        "--field-source",
+        choices=FIELD_SOURCE_MODES,
+        default=None,
+        help=(
+            "field-source mode: 'resident' gathers in-memory stacks, "
+            "'memmap' runs every gather through a memory-mapped on-disk "
+            "source with overlapped tile prefetch (bitwise identical; "
+            "default: $REPRO_FIELD_SOURCE or 'resident')"
         ),
     )
 
@@ -155,6 +167,7 @@ def _config_from_args(
         "plan_pool_bytes": args.plan_pool_bytes,
         "auto_fraction": args.auto_fraction,
         "workers": args.workers,
+        "field_source": args.field_source,
     }
     return base.replace(**{name: value for name, value in overrides.items() if value is not None})
 
@@ -277,7 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _load_pair(args: argparse.Namespace):
     if args.input:
-        data = load_problem(args.input)
+        if default_field_source() == "memmap":
+            # out-of-core mode: map the volumes in place (uncompressed .npz
+            # only) instead of materializing them; compressed archives fall
+            # back to resident loading (the gathers themselves still run
+            # through memory-mapped spools under this mode)
+            try:
+                data = open_problem(args.input, mmap=True)
+            except ValueError as exc:
+                print(f"warning: {exc}; loading resident instead", file=sys.stderr)
+                data = load_problem(args.input)
+        else:
+            data = load_problem(args.input)
         return data["reference"], data["template"], data["grid"]
     if args.synthetic:
         problem = synthetic_registration_problem(
@@ -331,6 +355,17 @@ def _run_register(
                 f"  {tag}: {tag_stats.hits} hits, {tag_stats.misses} misses, "
                 f"{tag_stats.entries} entries, {tag_stats.current_bytes} bytes"
             )
+        if result.field_sources is not None:
+            sources = result.field_sources
+            print(
+                f"field sources: {sources.loads} tile loads "
+                f"({sources.planes_loaded} planes, {sources.bytes_loaded} bytes, "
+                f"peak tile {sources.peak_tile_bytes} bytes), "
+                f"tile cache {sources.tile_cache_hits} hits / "
+                f"{sources.tile_cache_misses} misses, "
+                f"prefetch {sources.prefetch_issued} issued / "
+                f"{sources.prefetch_hits} hits"
+            )
         decisions = layout_decision_log()
         if decisions.total:
             counts = ", ".join(
@@ -357,13 +392,19 @@ def _run_register(
 
 def _load_population(args: argparse.Namespace):
     if args.input:
-        data = np.load(args.input)
-        if "reference" not in data or "subjects" not in data:
-            raise ValueError(
-                f"{args.input} must contain 'reference' (N1,N2,N3) and "
-                "'subjects' (K,N1,N2,N3) arrays"
-            )
-        return np.asarray(data["reference"]), list(np.asarray(data["subjects"]))
+        with np.load(args.input) as data:
+            if "reference" not in data or "subjects" not in data:
+                raise ValueError(
+                    f"{args.input} must contain 'reference' (N1,N2,N3) and "
+                    "'subjects' (K,N1,N2,N3) arrays"
+                )
+            if default_field_source() != "memmap":
+                return np.asarray(data["reference"]), list(np.asarray(data["subjects"]))
+        # out-of-core mode: map both members in place — the K subject
+        # volumes are row views of one mapping, paged in as each job runs
+        reference = memmap_npz_member(args.input, "reference")
+        subjects = memmap_npz_member(args.input, "subjects")
+        return reference, [subjects[k] for k in range(subjects.shape[0])]
     population = synthetic_population(
         args.synthetic,
         num_subjects=args.subjects,

@@ -41,6 +41,7 @@ from repro.runtime.plan_pool import configure_plan_pool, env_pool_budget, get_pl
 from repro.runtime.workers import resolve_workers, set_default_workers
 from repro.spectral import backends as fft_backends
 from repro.transport import kernels as interp_kernels
+from repro.transport import sources as field_sources
 
 __all__ = ["RegistrationConfig"]
 
@@ -72,6 +73,10 @@ class RegistrationConfig:
     auto_fraction:
         Threshold fraction of the budget-aware ``auto`` layout policy,
         in ``(0, 1]``.
+    field_source:
+        Field-source mode (``"resident"``, ``"memmap"``); ``memmap`` runs
+        every frontend gather through a disk-backed source (the
+        ``REPRO_FIELD_SOURCE`` / ``--field-source`` knob).
     """
 
     fft_backend: Optional[str] = None
@@ -80,6 +85,7 @@ class RegistrationConfig:
     workers: Optional[int] = None
     plan_pool_bytes: Optional[int] = None
     auto_fraction: Optional[float] = None
+    field_source: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and int(self.workers) < 1:
@@ -113,6 +119,7 @@ class RegistrationConfig:
             workers=resolve_workers("service"),
             plan_pool_bytes=get_plan_pool().max_bytes,
             auto_fraction=auto_streaming_fraction(),
+            field_source=field_sources.default_field_source(),
         )
 
     def replace(self, **changes: object) -> "RegistrationConfig":
@@ -137,10 +144,18 @@ class RegistrationConfig:
                 f"unknown stencil-plan layout {self.plan_layout!r}; "
                 f"expected one of {interp_kernels.PLAN_LAYOUT_CHOICES}"
             )
+        if self.field_source is not None and (
+            self.field_source not in field_sources.FIELD_SOURCE_MODES
+        ):
+            raise ValueError(
+                f"unknown field-source mode {self.field_source!r}; "
+                f"expected one of {field_sources.FIELD_SOURCE_MODES}"
+            )
         interp_kernels.default_plan_layout()  # validate $REPRO_PLAN_LAYOUT
         auto_streaming_fraction()  # ... and $REPRO_PLAN_AUTO_FRACTION
         env_pool_budget()  # ... and $REPRO_PLAN_POOL_BYTES
-        for subsystem in ("fft", "interp", "service"):  # ... and the worker vars
+        field_sources.default_field_source()  # ... and $REPRO_FIELD_SOURCE
+        for subsystem in ("fft", "interp", "service", "io"):  # ... and the worker vars
             resolve_workers(subsystem)
         return self
 
@@ -161,6 +176,8 @@ class RegistrationConfig:
             set_default_workers(self.workers)
         if self.plan_pool_bytes is not None:
             configure_plan_pool(self.plan_pool_bytes)
+        if self.field_source is not None:
+            field_sources.set_default_field_source(self.field_source)
         return self
 
     # ------------------------------------------------------------------ #

@@ -32,6 +32,7 @@ from repro.data.preprocessing import normalize_intensity, smooth_image
 from repro.runtime.plan_pool import PoolStats, get_plan_pool
 from repro.spectral.grid import Grid
 from repro.transport.deformation import DeformationMap
+from repro.transport.kernels import SourceStats, field_source_log
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("core.registration")
@@ -89,6 +90,7 @@ class RegistrationResult:
     det_grad_stats: Dict[str, float]
     elapsed_seconds: float
     plan_pool: Optional[PoolStats] = None
+    field_sources: Optional[SourceStats] = None
     problem: RegistrationProblem = field(repr=False, default=None)
 
     @property
@@ -131,6 +133,12 @@ class RegistrationResult:
             ),
             "plan_pool_hits": self.plan_pool.hits if self.plan_pool is not None else 0,
             "plan_pool_misses": self.plan_pool.misses if self.plan_pool is not None else 0,
+            "field_source_loads": (
+                self.field_sources.loads if self.field_sources is not None else 0
+            ),
+            "field_source_peak_tile_bytes": (
+                self.field_sources.peak_tile_bytes if self.field_sources is not None else 0
+            ),
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -156,6 +164,11 @@ class RegistrationResult:
             "det_grad": _jsonable(self.det_grad_stats),
             "plan_pool": (
                 _jsonable(self.plan_pool.as_dict()) if self.plan_pool is not None else None
+            ),
+            "field_sources": (
+                _jsonable(self.field_sources.as_dict())
+                if self.field_sources is not None
+                else None
             ),
             "elapsed_seconds": float(self.elapsed_seconds),
         }
@@ -286,6 +299,7 @@ class RegistrationSolver:
         """Register *template* to *reference* and collect the diagnostics."""
         start = time.perf_counter()
         pool_before = get_plan_pool().stats
+        sources_before = field_source_log().snapshot()
         problem = self.build_problem(template, reference, grid)
 
         if self.optimizer == "gauss_newton":
@@ -333,6 +347,7 @@ class RegistrationSolver:
             det_grad_stats=det_stats,
             elapsed_seconds=elapsed,
             plan_pool=get_plan_pool().stats - pool_before,
+            field_sources=field_source_log().snapshot() - sources_before,
             problem=problem,
         )
 

@@ -25,6 +25,17 @@ from repro.transport.kernels import (
     register_backend as register_interpolation_backend,
     registered_backends as registered_interpolation_backends,
 )
+from repro.transport.sources import (
+    FIELD_SOURCE_ENV_VAR,
+    FIELD_SOURCE_MODES,
+    Hdf5FieldSource,
+    MemmapFieldSource,
+    PrefetchingFieldSource,
+    SpooledMemmapFieldSource,
+    TileCachingFieldSource,
+    default_field_source,
+    set_default_field_source,
+)
 from repro.transport.semi_lagrangian import (
     SemiLagrangianStepper,
     compute_departure_points,
@@ -42,6 +53,15 @@ __all__ = [
     "get_interpolation_backend",
     "register_interpolation_backend",
     "registered_interpolation_backends",
+    "FIELD_SOURCE_ENV_VAR",
+    "FIELD_SOURCE_MODES",
+    "MemmapFieldSource",
+    "Hdf5FieldSource",
+    "SpooledMemmapFieldSource",
+    "PrefetchingFieldSource",
+    "TileCachingFieldSource",
+    "default_field_source",
+    "set_default_field_source",
     "SemiLagrangianStepper",
     "compute_departure_points",
     "TransportPlan",

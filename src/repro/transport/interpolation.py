@@ -159,6 +159,16 @@ class PeriodicInterpolator:
     def _gather(self, fields: "np.ndarray | FieldSource", plan: GatherPlan) -> np.ndarray:
         batch = fields.num_fields if is_field_source(fields) else fields.shape[0]
         self.points_interpolated += batch * plan.num_points
+        if not is_field_source(fields):
+            # forced out-of-core mode (REPRO_FIELD_SOURCE=memmap /
+            # --field-source memmap): spool the resident stack to a
+            # temporary .npy and gather it memory-mapped.  float64
+            # round-trips .npy bit for bit, so results are unchanged —
+            # imported lazily to keep the module graph acyclic.
+            from repro.transport.sources import SpooledMemmapFieldSource, default_field_source
+
+            if default_field_source() == "memmap":
+                fields = SpooledMemmapFieldSource(fields)
         return self.backend.gather(fields, plan.coordinates, plan.payload, self.method)
 
     def _check_stack(self, fields: "np.ndarray | FieldSource") -> "np.ndarray | FieldSource":

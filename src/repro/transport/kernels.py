@@ -76,9 +76,11 @@ layout values opt out.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
 from typing import Callable, Dict, Optional, Protocol, Tuple, Type, Union, runtime_checkable
 
 import numpy as np
@@ -644,7 +646,184 @@ class FieldSource(Protocol):
         ...
 
 
-class ArrayFieldSource:
+@dataclass(frozen=True)
+class SourceStats:
+    """Snapshot of field-source traffic (supports ``-`` for per-run deltas).
+
+    ``loads``/``planes_loaded``/``bytes_loaded`` count tile materializations
+    by the *leaf* sources (array, memmap, HDF5, spooled) — the traffic that
+    would hit the disk for an out-of-core source.  The cache/prefetch
+    counters are contributed by the wrapper sources of
+    :mod:`repro.transport.sources`.  ``peak_tile_bytes`` is a gauge (the
+    largest single tile seen), so — like the plan pool's gauges — it is not
+    differenced by subtraction.
+    """
+
+    loads: int = 0
+    planes_loaded: int = 0
+    bytes_loaded: int = 0
+    peak_tile_bytes: int = 0
+    tile_cache_hits: int = 0
+    tile_cache_misses: int = 0
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+
+    def __sub__(self, other: "SourceStats") -> "SourceStats":
+        return SourceStats(
+            loads=self.loads - other.loads,
+            planes_loaded=self.planes_loaded - other.planes_loaded,
+            bytes_loaded=self.bytes_loaded - other.bytes_loaded,
+            peak_tile_bytes=self.peak_tile_bytes,
+            tile_cache_hits=self.tile_cache_hits - other.tile_cache_hits,
+            tile_cache_misses=self.tile_cache_misses - other.tile_cache_misses,
+            prefetch_issued=self.prefetch_issued - other.prefetch_issued,
+            prefetch_hits=self.prefetch_hits - other.prefetch_hits,
+            prefetch_misses=self.prefetch_misses - other.prefetch_misses,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "loads": self.loads,
+            "planes_loaded": self.planes_loaded,
+            "bytes_loaded": self.bytes_loaded,
+            "peak_tile_bytes": self.peak_tile_bytes,
+            "tile_cache_hits": self.tile_cache_hits,
+            "tile_cache_misses": self.tile_cache_misses,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_misses": self.prefetch_misses,
+        }
+
+
+class FieldSourceLog:
+    """Process-wide aggregator of field-source traffic.
+
+    Every :class:`FieldSourceBase` source reports its tile loads here (and
+    the cache/prefetch wrappers their hit/miss counters), so per-run source
+    statistics can be surfaced — in :class:`~repro.core.registration.
+    RegistrationResult`, the verbose CLI report and the service artifacts —
+    without plumbing source objects through the solver stack.  The same
+    pattern as :class:`repro.runtime.layout.LayoutDecisionLog`; snapshot
+    deltas (``log.snapshot() - before``) give per-run numbers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats = SourceStats()
+
+    def record_load(self, num_planes: int, nbytes: int) -> None:
+        with self._lock:
+            s = self._stats
+            self._stats = dataclass_replace(
+                s,
+                loads=s.loads + 1,
+                planes_loaded=s.planes_loaded + int(num_planes),
+                bytes_loaded=s.bytes_loaded + int(nbytes),
+                peak_tile_bytes=max(s.peak_tile_bytes, int(nbytes)),
+            )
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            s = self._stats
+            if hit:
+                self._stats = dataclass_replace(s, tile_cache_hits=s.tile_cache_hits + 1)
+            else:
+                self._stats = dataclass_replace(s, tile_cache_misses=s.tile_cache_misses + 1)
+
+    def record_prefetch(self, issued: int = 0, hits: int = 0, misses: int = 0) -> None:
+        with self._lock:
+            s = self._stats
+            self._stats = dataclass_replace(
+                s,
+                prefetch_issued=s.prefetch_issued + int(issued),
+                prefetch_hits=s.prefetch_hits + int(hits),
+                prefetch_misses=s.prefetch_misses + int(misses),
+            )
+
+    def snapshot(self) -> SourceStats:
+        with self._lock:
+            return self._stats
+
+    @property
+    def total_loads(self) -> int:
+        with self._lock:
+            return self._stats.loads
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats = SourceStats()
+
+
+_field_source_log = FieldSourceLog()
+
+
+def field_source_log() -> FieldSourceLog:
+    """The process-wide field-source traffic log."""
+    return _field_source_log
+
+
+#: Monotonic identity tokens for in-memory sources.  Deliberately not
+#: ``id()``: object ids are reused after garbage collection, and a reused id
+#: inside a tile-cache key would serve another array's stale tiles.
+_SOURCE_TOKENS = itertools.count(1)
+
+
+class FieldSourceBase:
+    """Shared accounting base of the concrete :class:`FieldSource` classes.
+
+    Owns the traffic counters every source reports (``loads``,
+    ``planes_loaded``, ``bytes_loaded``, ``peak_tile_bytes``), their
+    thread-safe recording (the threaded executor loads tiles concurrently),
+    :meth:`reset_stats`, and the :attr:`fingerprint` identity that keys this
+    source's tiles in the pool-budgeted tile cache.  In-memory sources get a
+    process-unique monotonic token; file-backed sources override
+    :attr:`fingerprint` with ``(path, mtime, size)`` content identity so
+    that re-opening the same file warms the same cache entries.
+    """
+
+    def __init__(self) -> None:
+        self._stats_lock = threading.Lock()
+        self._memory_token = next(_SOURCE_TOKENS)
+        self.loads = 0
+        self.planes_loaded = 0
+        self.bytes_loaded = 0
+        self.peak_tile_bytes = 0
+
+    @property
+    def fingerprint(self) -> Tuple:
+        """Identity of this source's tiles in the shared tile cache."""
+        return ("memory", self._memory_token)
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters (the per-run measurement idiom)."""
+        with self._stats_lock:
+            self.loads = 0
+            self.planes_loaded = 0
+            self.bytes_loaded = 0
+            self.peak_tile_bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Current counters as a plain dictionary (JSON-ready)."""
+        with self._stats_lock:
+            return {
+                "loads": self.loads,
+                "planes_loaded": self.planes_loaded,
+                "bytes_loaded": self.bytes_loaded,
+                "peak_tile_bytes": self.peak_tile_bytes,
+            }
+
+    def _record_load(self, num_planes: int, nbytes: int) -> None:
+        with self._stats_lock:
+            self.loads += 1
+            self.planes_loaded += int(num_planes)
+            self.bytes_loaded += int(nbytes)
+            if nbytes > self.peak_tile_bytes:
+                self.peak_tile_bytes = int(nbytes)
+        _field_source_log.record_load(num_planes, nbytes)
+
+
+class ArrayFieldSource(FieldSourceBase):
     """ndarray-backed :class:`FieldSource` with tile accounting.
 
     Wraps a ``(B, N1, N2, N3)`` stack (a single ``(N1, N2, N3)`` field is
@@ -653,13 +832,15 @@ class ArrayFieldSource:
     what keeps tiled gathers bitwise identical to resident ones.
 
     The source counts its traffic (``loads``, ``planes_loaded``,
-    ``peak_tile_bytes``): for an in-memory array the backing stack is of
-    course resident anyway, but ``peak_tile_bytes`` is precisely the
-    working set a memory-mapped source would keep in RAM, so the
-    out-of-core memory pins assert on it.
+    ``bytes_loaded``, ``peak_tile_bytes``): for an in-memory array the
+    backing stack is of course resident anyway, but ``peak_tile_bytes`` is
+    precisely the working set a memory-mapped source would keep in RAM, so
+    the out-of-core memory pins assert on it.  :meth:`reset_stats` zeroes
+    the counters between measurements.
     """
 
     def __init__(self, fields: np.ndarray) -> None:
+        super().__init__()
         fields = np.asarray(fields)
         if fields.ndim == 3:
             fields = fields[None]
@@ -669,10 +850,6 @@ class ArrayFieldSource:
                 f"(N1, N2, N3) field, got shape {fields.shape}"
             )
         self._fields = fields
-        self.loads = 0
-        self.planes_loaded = 0
-        self.peak_tile_bytes = 0
-        self._lock = threading.Lock()
 
     @property
     def shape(self) -> Tuple[int, int, int]:
@@ -684,10 +861,7 @@ class ArrayFieldSource:
 
     def load_planes(self, planes: np.ndarray) -> np.ndarray:
         tile = np.ascontiguousarray(self._fields[:, planes], dtype=np.float64)
-        with self._lock:
-            self.loads += 1
-            self.planes_loaded += len(planes)
-            self.peak_tile_bytes = max(self.peak_tile_bytes, tile.nbytes)
+        self._record_load(len(planes), tile.nbytes)
         return tile
 
     def load_all(self) -> np.ndarray:
@@ -757,21 +931,55 @@ def _execute_stencil_chunk(
     _run_tap_loop(flat_fields, index_parts, weights, plan.taps, out[:, lo:hi])
 
 
+def _chunk_planes(i0: np.ndarray, stride0: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Plane ids and their sorted-unique set for one chunk's axis-0 parts.
+
+    The single source of truth for "which planes does this chunk touch":
+    :func:`_load_chunk_tile` loads exactly these planes, and
+    :func:`chunk_plane_schedule` precomputes them per chunk for the
+    prefetcher — the two must agree bit for bit or a prefetched tile would
+    never match the executor's request.
+    """
+    plane_ids = np.asarray(i0) // stride0
+    return plane_ids, np.unique(plane_ids)
+
+
+def chunk_plane_schedule(
+    shape: Tuple[int, int, int], plan: StencilPlanLike, chunk: Optional[int] = None
+) -> Tuple[Tuple[Tuple[int, int], Tuple[int, ...]], ...]:
+    """The tiled executor's plane requests, computed ahead of execution.
+
+    Returns one ``((lo, hi), planes)`` entry per executor chunk, where
+    ``planes`` is exactly the (sorted, unique) axis-0 plane tuple
+    :func:`_load_chunk_tile` will pass to ``source.load_planes`` for that
+    chunk — the stencil plan fully determines the access pattern, so the
+    whole tile schedule is known before the first gather.  This is what the
+    overlapped prefetcher (:class:`repro.transport.sources.
+    PrefetchingFieldSource`) keys its lookahead on.
+    """
+    stride0 = int(shape[1]) * int(shape[2])
+    schedule = []
+    for lo, hi in plan.iter_chunks(chunk):
+        (i0, _, _), _ = plan.chunk_stencil(lo, hi)
+        _, planes = _chunk_planes(i0, stride0)
+        schedule.append(((lo, hi), tuple(int(p) for p in planes)))
+    return tuple(schedule)
+
+
 def _load_chunk_tile(source: FieldSource, plan: StencilPlanLike, lo: int, hi: int):
     """Load one chunk's plane tile and remap its stencil into tile coordinates.
 
     The axis-0 index parts already carry the flattened contribution
     ``plane * N2 * N3``; the planes a chunk touches are their unique
-    quotients, the tile is those planes loaded from the source, and the
-    remap replaces each plane id by its position in the tile (the tile's
-    inner strides equal the field's, so axes 1/2 need no remapping).  The
-    weights and the gathered float64 values are untouched, so the tap loop
-    runs bit-for-bit the resident arithmetic.
+    quotients (:func:`_chunk_planes`), the tile is those planes loaded from
+    the source, and the remap replaces each plane id by its position in the
+    tile (the tile's inner strides equal the field's, so axes 1/2 need no
+    remapping).  The weights and the gathered float64 values are untouched,
+    so the tap loop runs bit-for-bit the resident arithmetic.
     """
     (i0, i1, i2), weights = plan.chunk_stencil(lo, hi)
     stride0 = source.shape[1] * source.shape[2]
-    plane_ids = np.asarray(i0) // stride0
-    planes = np.unique(plane_ids)
+    plane_ids, planes = _chunk_planes(i0, stride0)
     tile = source.load_planes(planes)
     flat_tile = tile.reshape(tile.shape[0], -1)
     i0_tile = np.searchsorted(planes, plane_ids) * stride0
@@ -825,6 +1033,14 @@ def execute_stencil_plan(
     the tiled/resident mode.
     """
     tiled = is_field_source(flat_fields)
+    if tiled:
+        # disk-backed sources gather through the out-of-core pipeline
+        # (overlapped prefetch + pool-budgeted tile cache); resident and
+        # already-wrapped sources pass through untouched.  Imported lazily:
+        # sources.py builds on this module.
+        from repro.transport.sources import plan_scoped_source
+
+        flat_fields = plan_scoped_source(flat_fields, plan, chunk)
     num_fields = flat_fields.num_fields if tiled else flat_fields.shape[0]
     run_chunk = _execute_tiled_chunk if tiled else _execute_stencil_chunk
     out = np.zeros((num_fields, plan.num_points))
@@ -1113,6 +1329,9 @@ class NumbaInterpolationBackend(NumpyInterpolationBackend):
             # remapped stencil to the JIT kernel (disjoint output slices);
             # the per-point tap arithmetic is identical to the resident
             # path, so tiled numba gathers are bitwise unchanged too
+            from repro.transport.sources import plan_scoped_source
+
+            prepared = plan_scoped_source(prepared, plan)
             out = np.zeros((prepared.num_fields, plan.num_points))
             for lo, hi in plan.iter_chunks():
                 flat_tile, (i0, i1, i2), (w0, w1, w2) = _load_chunk_tile(

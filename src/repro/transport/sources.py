@@ -1,0 +1,588 @@
+"""Out-of-core field sources: memmap loading, tile prefetch, tile caching.
+
+PR 5's :class:`~repro.transport.kernels.FieldSource` seam made the gather
+executor source-agnostic; this module supplies the sources that make it
+genuinely out-of-core:
+
+* :class:`MemmapFieldSource` — fields living in ``.npy``/``.npz`` files
+  (the formats :mod:`repro.data.io` writes), memory-mapped so opening a
+  512^3 volume costs nothing and each executor chunk pages in only its
+  plane tile;
+* :class:`Hdf5FieldSource` — the same over an HDF5 dataset (optional
+  ``h5py`` extra, cleanly gated);
+* :class:`PrefetchingFieldSource` — overlapped I/O: the stencil plan fully
+  determines the tile schedule ahead of execution
+  (:func:`~repro.transport.kernels.chunk_plane_schedule`), so while chunk
+  ``k`` gathers, chunk ``k+1``'s tile loads on the dedicated ``io`` worker
+  pool (``REPRO_IO_WORKERS``), hiding disk latency inside the tap loop;
+* :class:`TileCachingFieldSource` — an LRU of recent plane tiles accounted
+  through the plan pool under the ``field-tile`` tag, so tile bytes
+  compete with plan bytes under the one ``REPRO_PLAN_POOL_BYTES`` budget
+  and warm re-gathers (line-search trials, Hessian matvecs over the same
+  fields) hit memory instead of disk.
+
+The executor composes the wrappers automatically
+(:func:`plan_scoped_source`): any disk-backed source handed to
+``execute_stencil_plan`` — and therefore to every frontend above it —
+gathers prefetched and cached, bitwise identical to the resident path.
+
+``REPRO_FIELD_SOURCE`` (or ``--field-source`` / ``RegistrationConfig``)
+selects the process-wide mode: ``resident`` (default) keeps ndarray
+stacks in memory; ``memmap`` forces every frontend gather through a
+disk-backed source (:class:`SpooledMemmapFieldSource`) — the CI leg that
+proves the out-of-core pipeline runs the whole suite bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.io import memmap_npz_member
+from repro.runtime.plan_pool import get_plan_pool
+from repro.runtime.workers import get_subsystem_executor
+from repro.spectral.backends import BackendUnavailableError
+from repro.transport.kernels import (
+    FieldSource,
+    FieldSourceBase,
+    chunk_plane_schedule,
+    field_source_log,
+    is_field_source,
+)
+
+__all__ = [
+    "FIELD_SOURCE_ENV_VAR",
+    "FIELD_SOURCE_MODES",
+    "DEFAULT_FIELD_SOURCE",
+    "default_field_source",
+    "set_default_field_source",
+    "MemmapFieldSource",
+    "Hdf5FieldSource",
+    "SpooledMemmapFieldSource",
+    "PrefetchingFieldSource",
+    "TileCachingFieldSource",
+    "plan_scoped_source",
+]
+
+#: Environment variable selecting the process-wide field-source mode.
+FIELD_SOURCE_ENV_VAR = "REPRO_FIELD_SOURCE"
+
+#: Valid modes: ``resident`` gathers ndarray stacks in memory (the classic
+#: path); ``memmap`` spools every frontend stack to a temporary ``.npy``
+#: and gathers it memory-mapped (bitwise identical — float64 round-trips
+#: ``.npy`` exactly — so the whole test tier can run out-of-core).
+FIELD_SOURCE_MODES = ("resident", "memmap")
+
+DEFAULT_FIELD_SOURCE = "resident"
+
+_process_field_source: Optional[str] = None
+
+
+def set_default_field_source(mode: Optional[str]) -> None:
+    """Set the process-wide field-source mode (``None`` clears the override).
+
+    The programmatic twin of ``REPRO_FIELD_SOURCE`` used by the CLI
+    ``--field-source`` flag and :class:`repro.config.RegistrationConfig`;
+    the environment itself is never mutated.
+    """
+    global _process_field_source
+    if mode is None:
+        _process_field_source = None
+        return
+    mode = str(mode).lower()
+    if mode not in FIELD_SOURCE_MODES:
+        raise ValueError(
+            f"unknown field-source mode {mode!r}; valid modes: {FIELD_SOURCE_MODES}"
+        )
+    _process_field_source = mode
+
+
+def default_field_source() -> str:
+    """Active field-source mode.
+
+    Resolution order: process-wide override (:func:`set_default_field_source`),
+    then ``REPRO_FIELD_SOURCE``, then ``resident``.
+    """
+    if _process_field_source is not None:
+        return _process_field_source
+    value = os.environ.get(FIELD_SOURCE_ENV_VAR, "").strip().lower()
+    if not value:
+        return DEFAULT_FIELD_SOURCE
+    if value not in FIELD_SOURCE_MODES:
+        raise ValueError(
+            f"{FIELD_SOURCE_ENV_VAR} must be one of {FIELD_SOURCE_MODES}, got {value!r}"
+        )
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# disk-backed leaf sources
+# --------------------------------------------------------------------------- #
+def _file_identity(path: "str | Path", *extra) -> Tuple:
+    """Content identity of a file for tile-cache keys.
+
+    ``(path, mtime_ns, size)`` — stable across re-opens of the same file,
+    so a solver that re-opens a volume (line search, Hessian matvecs) warms
+    the same cache entries, and invalidated the moment the file changes.
+    """
+    path = Path(path)
+    stat = path.stat()
+    return ("file", str(path.resolve()), stat.st_mtime_ns, stat.st_size, *extra)
+
+
+class MemmapFieldSource(FieldSourceBase):
+    """Memory-mapped :class:`FieldSource` over ``.npy``/``.npz`` files.
+
+    Wraps a read-only memmap (or any array-like kept out of core by its
+    owner) of shape ``(B, N1, N2, N3)`` — a single ``(N1, N2, N3)`` volume
+    is promoted to a one-field batch.  ``load_planes`` materializes exactly
+    the requested plane tile as a float64 copy (the resident executor's
+    upcast), so only tile-sized slices of the file are ever paged in and
+    tiled gathers stay bitwise identical to resident ones.
+
+    Build from the files :mod:`repro.data.io` writes with :meth:`from_npy`
+    / :meth:`from_npz` (uncompressed archives only — see
+    ``save_problem(..., compress=False)``); those carry a file-content
+    :attr:`fingerprint`, which lets the pool-budgeted tile cache recognize
+    the same volume across re-opens.
+    """
+
+    #: Disk-backed: the executor wraps this source with prefetch (and,
+    #: given a durable fingerprint, the tile cache) — see
+    #: :func:`plan_scoped_source`.
+    out_of_core = True
+
+    def __init__(self, fields, fingerprint: Optional[Tuple] = None) -> None:
+        super().__init__()
+        fields = np.asanyarray(fields)
+        if fields.ndim == 3:
+            fields = fields[None]
+        if fields.ndim != 4:
+            raise ValueError(
+                f"fields must be stacked as (B, N1, N2, N3) or a single "
+                f"(N1, N2, N3) field, got shape {fields.shape}"
+            )
+        if fields.dtype.hasobject or fields.dtype.kind not in "fiu":
+            raise ValueError(
+                f"field stacks must have a real numeric dtype, got {fields.dtype}"
+            )
+        self._fields = fields
+        self._file_fingerprint = tuple(fingerprint) if fingerprint is not None else None
+
+    @classmethod
+    def from_npy(cls, path: "str | Path") -> "MemmapFieldSource":
+        """Open a ``.npy`` stack memory-mapped (``np.load(..., mmap_mode="r")``)."""
+        path = Path(path)
+        return cls(np.load(path, mmap_mode="r"), fingerprint=_file_identity(path))
+
+    @classmethod
+    def from_npz(cls, path: "str | Path", key: str) -> "MemmapFieldSource":
+        """Map one member of an *uncompressed* ``.npz`` archive in place.
+
+        Uses :func:`repro.data.io.memmap_npz_member`, so compressed members
+        fail with a clear pointer at ``save_problem(..., compress=False)``.
+        """
+        return cls(
+            memmap_npz_member(path, key), fingerprint=_file_identity(path, key)
+        )
+
+    @property
+    def fingerprint(self) -> Tuple:
+        if self._file_fingerprint is not None:
+            return self._file_fingerprint
+        return ("memory", self._memory_token)
+
+    @property
+    def has_durable_fingerprint(self) -> bool:
+        """True when tiles of this source are worth caching across gathers."""
+        return self._file_fingerprint is not None
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self._fields.shape[1:]
+
+    @property
+    def num_fields(self) -> int:
+        return self._fields.shape[0]
+
+    def load_planes(self, planes: np.ndarray) -> np.ndarray:
+        planes = np.asarray(planes)
+        tile = np.ascontiguousarray(self._fields[:, planes], dtype=np.float64)
+        self._record_load(len(planes), tile.nbytes)
+        return tile
+
+    def load_all(self) -> np.ndarray:
+        return np.ascontiguousarray(self._fields, dtype=np.float64)
+
+
+class SpooledMemmapFieldSource(MemmapFieldSource):
+    """A resident stack spooled to a temporary ``.npy`` and re-opened mapped.
+
+    The forcing device of ``REPRO_FIELD_SOURCE=memmap``: every frontend
+    gather writes its stack once, drops the resident copy, and gathers
+    through the disk path — float64 round-trips ``.npy`` bit for bit, so
+    the entire test tier doubles as an out-of-core conformance sweep.  The
+    temporary file is unlinked immediately (the mapping keeps the inode
+    alive on POSIX), so spools can never accumulate.
+
+    Each spool is single-use with a process-unique fingerprint, so
+    :func:`plan_scoped_source` adds prefetch but skips the tile cache —
+    caching tiles that can never be re-keyed would only evict useful plans.
+    """
+
+    def __init__(self, fields: np.ndarray) -> None:
+        stack = np.ascontiguousarray(fields, dtype=np.float64)
+        if stack.ndim == 3:
+            stack = stack[None]
+        handle, name = tempfile.mkstemp(suffix=".npy", prefix="repro-spool-")
+        try:
+            with os.fdopen(handle, "wb") as spool:
+                np.save(spool, stack)
+            mapped = np.load(name, mmap_mode="r")
+        finally:
+            os.unlink(name)
+        super().__init__(mapped)
+
+
+class Hdf5FieldSource(FieldSourceBase):
+    """:class:`FieldSource` over an HDF5 dataset (optional ``h5py`` extra).
+
+    Serves plane tiles straight from a ``(B, N1, N2, N3)`` or ``(N1, N2,
+    N3)`` dataset without ever materializing it; chunked/compressed HDF5
+    layouts work transparently (h5py decompresses per tile).  Raises
+    :class:`~repro.spectral.backends.BackendUnavailableError` when h5py is
+    not installed — the ``.npz`` path (:class:`MemmapFieldSource`) needs no
+    optional dependency.
+    """
+
+    out_of_core = True
+
+    def __init__(self, path: "str | Path", dataset: str = "fields") -> None:
+        try:
+            import h5py
+        except ImportError as exc:  # pragma: no cover - exercised via monkeypatch
+            raise BackendUnavailableError(
+                "h5py is not installed; install the 'hdf5' extra to read HDF5 "
+                "volumes, or use the dependency-free .npz path "
+                "(MemmapFieldSource / save_problem(..., compress=False))"
+            ) from exc
+        super().__init__()
+        path = Path(path)
+        self._file = h5py.File(path, "r")
+        try:
+            data = self._file[dataset]
+        except KeyError as exc:
+            names = sorted(self._file.keys())
+            self._file.close()
+            raise KeyError(f"{path} has no dataset {dataset!r}; available: {names}") from exc
+        if data.ndim not in (3, 4):
+            self._file.close()
+            raise ValueError(
+                f"dataset {dataset!r} must be (B, N1, N2, N3) or (N1, N2, N3), "
+                f"got shape {data.shape}"
+            )
+        self._data = data
+        self._batched = data.ndim == 4
+        self._file_fingerprint = _file_identity(path, dataset)
+
+    @property
+    def fingerprint(self) -> Tuple:
+        return self._file_fingerprint
+
+    @property
+    def has_durable_fingerprint(self) -> bool:
+        return True
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return tuple(self._data.shape[-3:])
+
+    @property
+    def num_fields(self) -> int:
+        return self._data.shape[0] if self._batched else 1
+
+    def load_planes(self, planes: np.ndarray) -> np.ndarray:
+        selection = [int(p) for p in np.asarray(planes)]
+        if self._batched:
+            tile = self._data[:, selection]
+        else:
+            tile = self._data[selection][None]
+        tile = np.ascontiguousarray(tile, dtype=np.float64)
+        self._record_load(len(selection), tile.nbytes)
+        return tile
+
+    def load_all(self) -> np.ndarray:
+        stack = self._data[()]
+        if not self._batched:
+            stack = stack[None]
+        return np.ascontiguousarray(stack, dtype=np.float64)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "Hdf5FieldSource":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# wrapper sources (prefetch / tile cache)
+# --------------------------------------------------------------------------- #
+class _DelegatingSource(FieldSourceBase):
+    """Shared delegation of the wrapper sources (shape/identity pass through)."""
+
+    def __init__(self, source: FieldSource) -> None:
+        super().__init__()
+        if not is_field_source(source):
+            raise TypeError(
+                f"expected a FieldSource to wrap, got {type(source).__name__}"
+            )
+        self._source = source
+
+    @property
+    def source(self) -> FieldSource:
+        """The wrapped source."""
+        return self._source
+
+    @property
+    def fingerprint(self) -> Tuple:
+        inner = getattr(self._source, "fingerprint", None)
+        if inner is not None:
+            return inner
+        return ("memory", self._memory_token)
+
+    @property
+    def has_durable_fingerprint(self) -> bool:
+        return bool(getattr(self._source, "has_durable_fingerprint", False))
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self._source.shape
+
+    @property
+    def num_fields(self) -> int:
+        return self._source.num_fields
+
+    def load_all(self) -> np.ndarray:
+        return self._source.load_all()
+
+
+class TileCachingFieldSource(_DelegatingSource):
+    """Pool-budgeted LRU of plane tiles in front of any source.
+
+    Tiles are cached in the process-wide plan pool under the ``field-tile``
+    tag, keyed by ``(source fingerprint, plane tuple)``: tile bytes and
+    plan bytes compete under the single ``REPRO_PLAN_POOL_BYTES`` budget
+    (``stats_by_tag()`` keeps them separately visible), eviction is LRU
+    across both kinds, and a zero budget disables caching entirely — every
+    semantics the plan entries already have.  Because file-backed
+    fingerprints are content identities, a solver that re-opens the same
+    volume (line-search trials, Hessian matvecs) hits the warm tiles of the
+    previous gather instead of the disk.
+
+    Concurrent misses of one tile are single-flight (the pool's guarantee):
+    exactly one thread loads from the wrapped source, the others wait and
+    are counted as hits.
+    """
+
+    def __init__(self, source: FieldSource) -> None:
+        super().__init__(source)
+        self.tile_cache_hits = 0
+        self.tile_cache_misses = 0
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        with self._stats_lock:
+            self.tile_cache_hits = 0
+            self.tile_cache_misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        with self._stats_lock:
+            out["tile_cache_hits"] = self.tile_cache_hits
+            out["tile_cache_misses"] = self.tile_cache_misses
+        return out
+
+    def load_planes(self, planes: np.ndarray) -> np.ndarray:
+        planes = np.asarray(planes)
+        key = ("field-tile", self.fingerprint, tuple(int(p) for p in planes))
+        built = []
+
+        def build() -> np.ndarray:
+            built.append(True)
+            return self._source.load_planes(planes)
+
+        tile = get_plan_pool().get(key, build, nbytes=lambda t: int(t.nbytes))
+        hit = not built
+        with self._stats_lock:
+            if hit:
+                self.tile_cache_hits += 1
+            else:
+                self.tile_cache_misses += 1
+        field_source_log().record_cache(hit)
+        return tile
+
+
+class PrefetchingFieldSource(_DelegatingSource):
+    """Overlapped tile loading driven by the executor's chunk schedule.
+
+    The stencil plan fully determines which planes each chunk touches
+    (:func:`~repro.transport.kernels.chunk_plane_schedule`), so the whole
+    tile schedule is known before the first gather.  While the executor
+    gathers chunk ``k``, this wrapper has chunk ``k+1``'s ``load_planes``
+    already running on the dedicated ``io`` worker pool
+    (``REPRO_IO_WORKERS`` — :func:`~repro.runtime.workers.
+    get_subsystem_executor`, deliberately *not* the width-shared executor
+    the chunk tasks themselves run on, which a prefetch future would
+    deadlock behind), hiding disk latency inside the tap loop.
+
+    Pending futures are keyed by **schedule index**, not plane tuple —
+    consecutive chunks of a narrow plane band legitimately request
+    identical tuples.  Requests are matched to the next unconsumed schedule
+    entry; out-of-order requests (the threaded executor completes chunks in
+    any order) and unscheduled ones degrade gracefully to a synchronous
+    load, never to a wrong tile.  The first request is a deliberate miss:
+    issuing ahead only *after* a request arrives keeps a fully-warm tile
+    cache above this wrapper from triggering a single disk read.
+
+    Counters (all also aggregated in :func:`~repro.transport.kernels.
+    field_source_log`): ``prefetch_issued`` / ``prefetch_hits`` /
+    ``prefetch_misses``, and ``issued_ahead`` — loads submitted while a
+    previous chunk was still being served, i.e. the instrumented proof that
+    chunk ``k+1``'s I/O started before chunk ``k`` completed.
+    """
+
+    def __init__(
+        self,
+        source: FieldSource,
+        schedule: Optional[Sequence] = None,
+        *,
+        plan=None,
+        chunk: Optional[int] = None,
+    ) -> None:
+        super().__init__(source)
+        if schedule is None:
+            if plan is None:
+                raise ValueError("PrefetchingFieldSource needs a schedule or a stencil plan")
+            schedule = chunk_plane_schedule(source.shape, plan, chunk)
+        self._schedule = tuple(self._normalize(entry) for entry in schedule)
+        self._pending: Dict[int, Future] = {}
+        self._consumed: set = set()
+        self._cursor = 0
+        self._schedule_lock = threading.Lock()
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
+        self.issued_ahead = 0
+
+    @staticmethod
+    def _normalize(entry) -> Tuple[int, ...]:
+        # accept chunk_plane_schedule entries ((lo, hi), planes) or bare
+        # plane tuples
+        if len(entry) == 2 and isinstance(entry[0], tuple) and len(entry[0]) == 2:
+            entry = entry[1]
+        return tuple(int(p) for p in entry)
+
+    @property
+    def schedule(self) -> Tuple[Tuple[int, ...], ...]:
+        """The plane tuple expected for each executor chunk, in order."""
+        return self._schedule
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        with self._stats_lock:
+            self.prefetch_issued = 0
+            self.prefetch_hits = 0
+            self.prefetch_misses = 0
+            self.issued_ahead = 0
+
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        with self._stats_lock:
+            out["prefetch_issued"] = self.prefetch_issued
+            out["prefetch_hits"] = self.prefetch_hits
+            out["prefetch_misses"] = self.prefetch_misses
+            out["issued_ahead"] = self.issued_ahead
+        return out
+
+    def _claim(self, key: Tuple[int, ...]) -> Optional[int]:
+        """Match a request to the next unconsumed schedule entry (locked)."""
+        for pos in range(self._cursor, len(self._schedule)):
+            if pos not in self._consumed and self._schedule[pos] == key:
+                return pos
+        for pos in range(self._cursor):
+            if pos not in self._consumed and self._schedule[pos] == key:
+                return pos
+        return None
+
+    def _issue(self, pos: int, ahead: bool) -> None:
+        """Submit the load of schedule entry *pos* to the io pool (locked)."""
+        if pos >= len(self._schedule) or pos in self._consumed or pos in self._pending:
+            return
+        planes = np.asarray(self._schedule[pos], dtype=np.intp)
+        self._pending[pos] = get_subsystem_executor("io").submit(
+            self._source.load_planes, planes
+        )
+        with self._stats_lock:
+            self.prefetch_issued += 1
+            if ahead:
+                self.issued_ahead += 1
+        field_source_log().record_prefetch(issued=1)
+
+    def load_planes(self, planes: np.ndarray) -> np.ndarray:
+        key = tuple(int(p) for p in np.asarray(planes))
+        with self._schedule_lock:
+            pos = self._claim(key)
+            future = None
+            if pos is not None:
+                self._consumed.add(pos)
+                self._cursor = max(self._cursor, pos + 1)
+                future = self._pending.pop(pos, None)
+                # overlap: chunk pos is about to gather — start chunk
+                # pos+1's read now, before this request even returns
+                self._issue(pos + 1, ahead=True)
+        if future is not None:
+            tile = future.result()
+            with self._stats_lock:
+                self.prefetch_hits += 1
+            field_source_log().record_prefetch(hits=1)
+            return tile
+        tile = self._source.load_planes(np.asarray(key, dtype=np.intp))
+        with self._stats_lock:
+            self.prefetch_misses += 1
+        field_source_log().record_prefetch(misses=1)
+        return tile
+
+
+# --------------------------------------------------------------------------- #
+# executor-side composition
+# --------------------------------------------------------------------------- #
+def plan_scoped_source(
+    source: FieldSource, plan, chunk: Optional[int] = None
+) -> FieldSource:
+    """Wrap a disk-backed source with the out-of-core pipeline for one plan.
+
+    Called by the tiled executors on every gather: sources flagged
+    ``out_of_core`` (memmap, HDF5, spooled) get an overlapped prefetcher
+    keyed on this plan's chunk schedule, and — when their fingerprint is a
+    durable file identity — the pool-budgeted tile cache on top, so warm
+    re-gathers of the same volume skip the disk entirely.  Resident
+    :class:`~repro.transport.kernels.ArrayFieldSource` stacks and already-
+    wrapped sources pass through untouched, which keeps the in-memory path
+    (and its pool accounting) exactly as before.
+    """
+    if not getattr(source, "out_of_core", False):
+        return source
+    schedule = chunk_plane_schedule(source.shape, plan, chunk)
+    wrapped: FieldSource = PrefetchingFieldSource(source, schedule=schedule)
+    if getattr(source, "has_durable_fingerprint", False):
+        wrapped = TileCachingFieldSource(wrapped)
+    return wrapped

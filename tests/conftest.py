@@ -23,7 +23,8 @@ from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
 from repro.runtime.workers import set_default_workers
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
-from repro.transport.kernels import set_default_plan_layout
+from repro.transport.kernels import field_source_log, set_default_plan_layout
+from repro.transport.sources import set_default_field_source
 
 from tests.fixtures import make_grid, smooth_scalar_field, smooth_velocity_field
 
@@ -52,13 +53,17 @@ def _fresh_plan_pool():
     set_default_plan_layout(None)
     set_auto_fraction(None)
     set_default_workers(None)
+    set_default_field_source(None)
     layout_decision_log().reset()
+    field_source_log().reset()
     yield
     reset_plan_pool()
     set_default_plan_layout(None)
     set_auto_fraction(None)
     set_default_workers(None)
+    set_default_field_source(None)
     layout_decision_log().reset()
+    field_source_log().reset()
 
 
 @pytest.fixture()

@@ -15,6 +15,11 @@ from repro.runtime.layout import auto_streaming_fraction
 from repro.runtime.plan_pool import configure_plan_pool, get_plan_pool
 from repro.runtime.workers import resolve_workers
 from repro.transport.kernels import default_plan_layout, set_default_plan_layout
+from repro.transport.sources import (
+    FIELD_SOURCE_ENV_VAR,
+    default_field_source,
+    set_default_field_source,
+)
 
 
 @pytest.fixture()
@@ -59,6 +64,11 @@ class TestConstruction:
         assert config.workers >= 1
         assert config.plan_pool_bytes == get_plan_pool().max_bytes
         assert 0.0 < config.auto_fraction <= 1.0
+        assert config.field_source in ("resident", "memmap")
+
+    def test_from_env_snapshots_the_field_source_mode(self, monkeypatch):
+        monkeypatch.setenv(FIELD_SOURCE_ENV_VAR, "memmap")
+        assert RegistrationConfig.from_env().field_source == "memmap"
 
 
 class TestValidateAndApply:
@@ -70,12 +80,36 @@ class TestValidateAndApply:
         with pytest.raises(ValueError, match="layout"):
             RegistrationConfig(plan_layout="no-such-layout").validate()
 
+    def test_validate_rejects_unknown_field_source(self):
+        with pytest.raises(ValueError, match="field-source"):
+            RegistrationConfig(field_source="floppy").validate()
+
     def test_validate_surfaces_malformed_env(self, monkeypatch):
         from repro.runtime.plan_pool import POOL_BYTES_ENV_VAR
 
         monkeypatch.setenv(POOL_BYTES_ENV_VAR, "lots")
         with pytest.raises(ValueError, match=POOL_BYTES_ENV_VAR):
             RegistrationConfig().validate()
+
+    def test_validate_surfaces_malformed_field_source_env(self, monkeypatch):
+        monkeypatch.setenv(FIELD_SOURCE_ENV_VAR, "floppy")
+        with pytest.raises(ValueError, match=FIELD_SOURCE_ENV_VAR):
+            RegistrationConfig().validate()
+
+    def test_apply_sets_the_field_source_mode(self):
+        try:
+            RegistrationConfig(field_source="memmap").apply()
+            assert default_field_source() == "memmap"
+        finally:
+            set_default_field_source(None)
+
+    def test_apply_leaves_field_source_untouched_when_unset(self):
+        set_default_field_source("memmap")
+        try:
+            RegistrationConfig(auto_fraction=0.25).apply()
+            assert default_field_source() == "memmap"
+        finally:
+            set_default_field_source(None)
 
     def test_apply_pushes_only_set_fields(self):
         budget_before = get_plan_pool().max_bytes
@@ -179,3 +213,27 @@ class TestResultSchema:
         )
         assert isinstance(round_tripped["plan_pool"]["hits"], int)
         assert np.isfinite(round_tripped["elapsed_seconds"])
+        # per-run field-source traffic rides along for artifact storage
+        for key in ("loads", "bytes_loaded", "peak_tile_bytes", "prefetch_issued"):
+            assert isinstance(round_tripped["field_sources"][key], int)
+        assert round_tripped["summary"]["field_source_loads"] == (
+            round_tripped["field_sources"]["loads"]
+        )
+
+    def test_field_source_traffic_is_counted_per_run(self, tiny_problem, fast_options):
+        # the numpy engine gathers tiled from sources (scipy's cubic spline
+        # materializes inside map_coordinates), so tile traffic is recorded
+        try:
+            result = register(
+                tiny_problem.template,
+                tiny_problem.reference,
+                options=fast_options,
+                config=RegistrationConfig(
+                    interp_backend="numpy", field_source="memmap"
+                ),
+            )
+        finally:
+            set_default_field_source(None)
+        assert result.field_sources.loads > 0
+        assert result.field_sources.bytes_loaded > 0
+        assert result.summary()["field_source_loads"] == result.field_sources.loads

@@ -361,3 +361,95 @@ class TestServeCommand:
         )
         assert code == 0
         assert "Atlas registration summary" in capsys.readouterr().out
+
+
+class TestFieldSourceMode:
+    """The ``--field-source`` flag and the out-of-core register/serve paths."""
+
+    def test_flag_choices(self):
+        args = build_parser().parse_args(
+            ["register", "--synthetic", "12", "--field-source", "memmap"]
+        )
+        assert args.field_source == "memmap"
+        defaults = build_parser().parse_args(["register", "--synthetic", "12"])
+        assert defaults.field_source is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["register", "--synthetic", "12", "--field-source", "floppy"]
+            )
+
+    def test_register_memmaps_an_uncompressed_input(self, tmp_path, capsys):
+        from repro.transport.sources import set_default_field_source
+
+        problem = synthetic_registration_problem(12)
+        path = tmp_path / "pair.npz"
+        save_problem(path, problem.reference, problem.template, grid=problem.grid,
+                     compress=False)
+        try:
+            code = main(
+                [
+                    "--verbose",
+                    "register",
+                    "--input", str(path),
+                    "--field-source", "memmap",
+                    "--max-newton", "2",
+                    "--max-krylov", "4",
+                ]
+            )
+        finally:
+            set_default_field_source(None)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Registration summary" in out
+        assert "field sources:" in out
+
+    def test_register_compressed_input_degrades_with_a_warning(self, tmp_path, capsys):
+        from repro.transport.sources import set_default_field_source
+
+        problem = synthetic_registration_problem(12)
+        path = tmp_path / "pair.npz"
+        save_problem(path, problem.reference, problem.template, grid=problem.grid,
+                     compress=True)
+        try:
+            code = main(
+                [
+                    "register",
+                    "--input", str(path),
+                    "--field-source", "memmap",
+                    "--max-newton", "1",
+                    "--max-krylov", "3",
+                ]
+            )
+        finally:
+            set_default_field_source(None)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "loading resident instead" in captured.err
+        assert "Registration summary" in captured.out
+
+    def test_serve_memmaps_an_uncompressed_population(self, tmp_path, capsys):
+        from repro.transport.sources import set_default_field_source
+
+        population_path = tmp_path / "population.npz"
+        problem = synthetic_registration_problem(8)
+        np.savez(  # plain savez: stored members, mappable in place
+            population_path,
+            reference=problem.reference,
+            subjects=np.stack([problem.template, problem.template], axis=0),
+        )
+        try:
+            code = main(
+                [
+                    "serve",
+                    "--input", str(population_path),
+                    "--field-source", "memmap",
+                    "--beta", "1e-1",
+                    "--max-newton", "1",
+                    "--max-krylov", "3",
+                    "--num-workers", "1",
+                ]
+            )
+        finally:
+            set_default_field_source(None)
+        assert code == 0
+        assert "num_subjects" in capsys.readouterr().out

@@ -8,10 +8,13 @@ import pytest
 from repro.runtime.workers import (
     FFT_WORKERS_ENV_VAR,
     INTERP_WORKERS_ENV_VAR,
+    IO_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
     get_executor,
+    get_subsystem_executor,
     resolve_workers,
     set_default_workers,
+    shutdown_executors,
 )
 from repro.spectral.backends import _resolve_workers as resolve_fft_workers
 from repro.spectral.grid import Grid
@@ -24,7 +27,12 @@ from tests.fixtures import smooth_scalar_field
 @pytest.fixture(autouse=True)
 def clean_policy(monkeypatch):
     """Isolate every test from ambient env vars and the process default."""
-    for var in (WORKERS_ENV_VAR, FFT_WORKERS_ENV_VAR, INTERP_WORKERS_ENV_VAR):
+    for var in (
+        WORKERS_ENV_VAR,
+        FFT_WORKERS_ENV_VAR,
+        INTERP_WORKERS_ENV_VAR,
+        IO_WORKERS_ENV_VAR,
+    ):
         monkeypatch.delenv(var, raising=False)
     set_default_workers(None)
     yield
@@ -35,11 +43,19 @@ class TestResolution:
     def test_subsystem_defaults(self):
         assert resolve_workers("fft") == max(1, os.cpu_count() or 1)
         assert resolve_workers("interp") == 1  # serial unless opted in
+        assert resolve_workers("io") == 1  # one background tile loader
 
     def test_shared_env_var_applies_to_every_subsystem(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "3")
         assert resolve_workers("fft") == 3
         assert resolve_workers("interp") == 3
+        assert resolve_workers("io") == 3
+
+    def test_io_env_overrides_shared(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        monkeypatch.setenv(IO_WORKERS_ENV_VAR, "2")
+        assert resolve_workers("io") == 2
+        assert resolve_workers("fft") == 3
 
     def test_per_subsystem_env_overrides_shared(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV_VAR, "3")
@@ -84,6 +100,37 @@ class TestExecutors:
     def test_executor_runs_work(self):
         results = list(get_executor(2).map(lambda x: x * x, range(8)))
         assert results == [0, 1, 4, 9, 16, 25, 36, 49]
+
+
+class TestSubsystemExecutors:
+    """The dedicated per-subsystem pools behind the prefetching pipeline.
+
+    Prefetch futures must never share a pool with the gather chunk tasks
+    that wait on them (a width-1 shared pool would deadlock), so the ``io``
+    loader gets its own executor keyed by subsystem name.
+    """
+
+    def test_one_executor_per_subsystem(self):
+        assert get_subsystem_executor("io") is get_subsystem_executor("io")
+        assert get_subsystem_executor("io") is not get_subsystem_executor("interp")
+
+    def test_distinct_from_width_shared_pools(self):
+        assert get_subsystem_executor("io") is not get_executor(1)
+
+    def test_unknown_subsystem_rejected(self):
+        with pytest.raises(ValueError, match="unknown worker subsystem"):
+            get_subsystem_executor("gpu")
+
+    def test_runs_work(self):
+        future = get_subsystem_executor("io").submit(lambda: 7 * 6)
+        assert future.result() == 42
+
+    def test_shutdown_clears_the_cache(self):
+        first = get_subsystem_executor("io")
+        shutdown_executors()
+        second = get_subsystem_executor("io")
+        assert second is not first
+        assert second.submit(lambda: 1).result() == 1
 
 
 class TestThreadedStencilExecution:
