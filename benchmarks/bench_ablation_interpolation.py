@@ -25,7 +25,7 @@ def _round_trip_error(method: str, resolution: int = 32, nt: int = 4) -> float:
     return float(grid.norm(back - template) / grid.norm(template))
 
 
-def test_ablation_interpolation_order(benchmark, record_text):
+def test_ablation_interpolation_order(benchmark, record_text, record_json):
     errors = benchmark.pedantic(
         lambda: {
             method: _round_trip_error(method)
@@ -39,6 +39,7 @@ def test_ablation_interpolation_order(benchmark, record_text):
         "ablation_interpolation",
         format_rows(rows, title="Ablation: semi-Lagrangian round-trip error by interpolation kernel"),
     )
+    record_json("ablation_interpolation", {"rows": rows})
     # both cubic kernels beat trilinear interpolation by a clear margin
     assert errors["cubic_bspline"] < 0.5 * errors["linear"]
     assert errors["catmull_rom"] < 0.5 * errors["linear"]

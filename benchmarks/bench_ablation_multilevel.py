@@ -41,12 +41,13 @@ def _run(num_levels: int):
     }
 
 
-def test_ablation_multilevel(benchmark, record_text):
+def test_ablation_multilevel(benchmark, record_text, record_json):
     rows = benchmark.pedantic(lambda: [_run(1), _run(2)], rounds=1, iterations=1)
     record_text(
         "ablation_multilevel",
         format_rows(rows, title="Ablation: single-level vs coarse-to-fine (grid continuation)"),
     )
+    record_json("ablation_multilevel", {"rows": rows})
     single, multilevel = rows
     # the multilevel solve reaches an objective at least as good ...
     assert multilevel["final_objective"] <= single["final_objective"] * 1.05

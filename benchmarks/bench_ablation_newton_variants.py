@@ -30,12 +30,13 @@ def _run(gauss_newton: bool):
     }
 
 
-def test_ablation_newton_variants(benchmark, record_text):
+def test_ablation_newton_variants(benchmark, record_text, record_json):
     rows = benchmark.pedantic(lambda: [_run(True), _run(False)], rounds=1, iterations=1)
     record_text(
         "ablation_newton_variants",
         format_rows(rows, title="Ablation: Gauss-Newton vs full Newton Hessian"),
     )
+    record_json("ablation_newton_variants", {"rows": rows})
     gauss_newton, full_newton = rows
     assert gauss_newton["relative_residual"] < 1.0
     assert full_newton["relative_residual"] < 1.0

@@ -31,7 +31,7 @@ def _run(optimizer: str, max_iterations: int):
     }
 
 
-def test_ablation_optimizer_baseline(benchmark, record_text):
+def test_ablation_optimizer_baseline(benchmark, record_text, record_json):
     rows = benchmark.pedantic(
         lambda: [_run("gauss_newton", 8), _run("gradient_descent", 8)],
         rounds=1,
@@ -41,6 +41,7 @@ def test_ablation_optimizer_baseline(benchmark, record_text):
         "ablation_optimizer_baseline",
         format_rows(rows, title="Ablation: Gauss-Newton-Krylov vs gradient-descent baseline"),
     )
+    record_json("ablation_optimizer_baseline", {"rows": rows})
     newton, descent = rows
     # with the same number of outer iterations the Newton-Krylov solver
     # reaches a (much) smaller mismatch — the paper's convergence-rate claim

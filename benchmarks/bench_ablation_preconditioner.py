@@ -42,7 +42,7 @@ def _pcg_iterations(resolution: int, variant: str, beta: float = 1e-2) -> int:
     return result.iterations
 
 
-def test_ablation_preconditioner_mesh_independence(benchmark, record_text):
+def test_ablation_preconditioner_mesh_independence(benchmark, record_text, record_json):
     def sweep():
         rows = []
         for resolution in RESOLUTIONS:
@@ -68,6 +68,7 @@ def test_ablation_preconditioner_mesh_independence(benchmark, record_text):
             ),
         ),
     )
+    record_json("ablation_preconditioner", {"rows": rows})
     prec = [r["pcg_iterations_preconditioned"] for r in rows]
     none = [r["pcg_iterations_unpreconditioned"] for r in rows]
     # at every resolution the preconditioner does not lose to the identity

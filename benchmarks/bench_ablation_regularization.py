@@ -29,7 +29,7 @@ def _run(regularization: str, beta: float):
     }
 
 
-def test_ablation_regularization(benchmark, record_text):
+def test_ablation_regularization(benchmark, record_text, record_json):
     rows = benchmark.pedantic(
         lambda: [_run("h1", 1e-2), _run("h2", 1e-3), _run("h3", 1e-4)],
         rounds=1,
@@ -39,6 +39,7 @@ def test_ablation_regularization(benchmark, record_text):
         "ablation_regularization",
         format_rows(rows, title="Ablation: H1 vs H2 vs H3 regularization"),
     )
+    record_json("ablation_regularization", {"rows": rows})
     for row in rows:
         # every variant reduces the mismatch and keeps the map diffeomorphic
         assert row["relative_residual"] < 1.0

@@ -17,7 +17,7 @@ from repro.transport.semi_lagrangian import SemiLagrangianStepper
 from repro.transport.solvers import TransportSolver
 
 
-def test_ablation_time_steps(benchmark, record_text):
+def test_ablation_time_steps(benchmark, record_text, record_json):
     grid = Grid((32, 32, 32))
     template = sinusoidal_template(grid)
     velocity = synthetic_velocity(grid)
@@ -39,6 +39,7 @@ def test_ablation_time_steps(benchmark, record_text):
         "ablation_timestepping",
         format_rows(rows, title="Ablation: semi-Lagrangian accuracy vs number of time steps"),
     )
+    record_json("ablation_timestepping", {"rows": rows})
     errors = {row["nt"]: row["error_vs_nt32"] for row in rows}
     cfls = {row["nt"]: row["cfl_number"] for row in rows}
     # the error decreases monotonically with nt and is already small at nt = 4

@@ -14,7 +14,7 @@ from repro.analysis.reporting import format_rows
 from repro.data.synthetic import synthetic_registration_problem
 
 
-def test_fig5_problem_construction(benchmark, record_text):
+def test_fig5_problem_construction(benchmark, record_text, record_json):
     problem = benchmark.pedantic(
         lambda: synthetic_registration_problem(32), rounds=1, iterations=1
     )
@@ -26,13 +26,14 @@ def test_fig5_problem_construction(benchmark, record_text):
         "max_pointwise_mismatch": float(np.max(np.abs(problem.reference - problem.template))),
     }
     record_text("fig5_problem_construction", format_rows([stats], title="Fig. 5 problem"))
+    record_json("fig5_problem_construction", {"stats": stats})
     # the template is (sin^2+sin^2+sin^2)/3, so it spans [0, 1]
     assert 0.0 <= stats["template_min"] < 0.05
     assert 0.95 < stats["template_max"] <= 1.0
     assert stats["initial_residual"] > 0.1
 
 
-def test_fig5_registration_removes_residual(benchmark, record_text):
+def test_fig5_registration_removes_residual(benchmark, record_text, record_json):
     summary = benchmark.pedantic(
         lambda: reproduce_synthetic_problem(resolution=32, beta=1e-2),
         rounds=1,
@@ -42,6 +43,7 @@ def test_fig5_registration_removes_residual(benchmark, record_text):
         "fig5_synthetic_registration",
         format_rows([summary], title="Fig. 5 synthetic registration (measured)"),
     )
+    record_json("fig5_synthetic_registration", {"summary": summary})
     # dark-to-white residual panels of Fig. 5: most of the mismatch disappears
     assert summary["relative_residual"] < 0.5
     assert summary["diffeomorphic"]

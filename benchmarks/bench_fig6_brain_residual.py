@@ -11,7 +11,7 @@ from repro.analysis.experiments import reproduce_brain_registration
 from repro.analysis.reporting import format_rows
 
 
-def test_fig6_brain_residual_reduction(benchmark, record_text):
+def test_fig6_brain_residual_reduction(benchmark, record_text, record_json):
     summary = benchmark.pedantic(
         lambda: reproduce_brain_registration(
             resolution=24, beta=1e-3, max_newton_iterations=15
@@ -24,5 +24,6 @@ def test_fig6_brain_residual_reduction(benchmark, record_text):
         "fig6_brain_residual",
         format_rows([top], title="Fig. 6 brain registration (measured, phantom pair)"),
     )
+    record_json("fig6_brain_residual", {"summary": top})
     assert summary["residual_after"] < 0.8 * summary["residual_before"]
     assert summary["det_grad_min"] > 0.0

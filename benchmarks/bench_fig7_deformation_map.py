@@ -12,7 +12,7 @@ from repro.analysis.experiments import reproduce_brain_registration
 from repro.analysis.reporting import format_rows
 
 
-def test_fig7_slicewise_residual_and_determinant(benchmark, record_text):
+def test_fig7_slicewise_residual_and_determinant(benchmark, record_text, record_json):
     summary = benchmark.pedantic(
         lambda: reproduce_brain_registration(
             resolution=24, beta=1e-3, max_newton_iterations=15, slices=(0.45, 0.5, 0.6)
@@ -24,6 +24,10 @@ def test_fig7_slicewise_residual_and_determinant(benchmark, record_text):
     record_text(
         "fig7_deformation_map",
         format_rows(slices, title="Fig. 7 per-slice residuals and det(grad y1) (measured)"),
+    )
+    record_json(
+        "fig7_deformation_map",
+        {"slices": slices, "det_grad_min": summary["det_grad_min"]},
     )
     assert len(slices) == 3
     for row in slices:

@@ -31,7 +31,7 @@ def _model_breakdowns(grid, tasks_list, counts):
     ]
 
 
-def test_table1_rows(benchmark, record_text, measured_synthetic_counts):
+def test_table1_rows(benchmark, record_text, record_json, measured_synthetic_counts):
     counts = measured_synthetic_counts
 
     def build():
@@ -47,11 +47,17 @@ def test_table1_rows(benchmark, record_text, measured_synthetic_counts):
     )
     text += "\n\nmeasured solver work driving the projection (synthetic, 24^3): " + str(counts)
     record_text("table1_maverick_synthetic", text)
+    record_json(
+        "table1_maverick_synthetic",
+        {"entries": entries, "measured_counts": dict(counts)},
+    )
     # sanity: every paper row has a model companion
     assert len(entries) == 2 * len(TABLE_I)
 
 
-def test_table1_strong_scaling_efficiency(benchmark, record_text, measured_synthetic_counts):
+def test_table1_strong_scaling_efficiency(
+    benchmark, record_text, record_json, measured_synthetic_counts
+):
     """The paper reports 67% efficiency from 32 to 512 tasks and 50% to 1024
     tasks for the 256^3 problem; the model must reproduce the same regime of
     imperfect-but-useful strong scaling (efficiency between 30% and 100%)."""
@@ -81,6 +87,7 @@ def test_table1_strong_scaling_efficiency(benchmark, record_text, measured_synth
         "table1_strong_scaling_efficiency",
         format_rows(rows, title="Table I strong-scaling efficiency: paper vs model"),
     )
+    record_json("table1_strong_scaling_efficiency", {"rows": rows})
     for row in rows:
         if row["tasks"] > 16:
             assert 0.2 <= row["model_efficiency"] <= 1.1

@@ -13,7 +13,7 @@ from repro.parallel.machines import STAMPEDE
 from repro.parallel.performance import RegistrationCostModel
 
 
-def test_table2_rows(benchmark, record_text, measured_synthetic_counts):
+def test_table2_rows(benchmark, record_text, record_json, measured_synthetic_counts):
     counts = measured_synthetic_counts
 
     def build():
@@ -30,6 +30,7 @@ def test_table2_rows(benchmark, record_text, measured_synthetic_counts):
             entries, title="Table II (synthetic, Stampede): paper rows vs model projections"
         ),
     )
+    record_json("table2_stampede_synthetic", {"entries": entries})
     assert len(entries) == 2 * len(TABLE_II)
 
 

@@ -15,7 +15,7 @@ from repro.analysis.paper_tables import TABLE_III
 from repro.analysis.reporting import format_breakdown_table, format_rows
 
 
-def test_table3_rows(benchmark, record_text, measured_incompressible_counts):
+def test_table3_rows(benchmark, record_text, record_json, measured_incompressible_counts):
     counts = measured_incompressible_counts
 
     def build():
@@ -32,13 +32,17 @@ def test_table3_rows(benchmark, record_text, measured_incompressible_counts):
     )
     text += "\n\nmeasured incompressible solve (24^3): " + str(counts)
     record_text("table3_incompressible", text)
+    record_json(
+        "table3_incompressible",
+        {"entries": entries, "measured_counts": dict(counts)},
+    )
     assert len(entries) == 2 * len(TABLE_III)
     # strong scaling: modeled time decreases monotonically from 1 to 32 tasks
     model_times = [e["time_to_solution"] for e in entries if e["source"] == "model"]
     assert all(a > b for a, b in zip(model_times, model_times[1:]))
 
 
-def test_table3_volume_preservation_measured(benchmark, record_text):
+def test_table3_volume_preservation_measured(benchmark, record_text, record_json):
     """The volume-preserving constraint is the point of Table III: verify it."""
     summary = benchmark.pedantic(
         lambda: reproduce_synthetic_problem(resolution=24, incompressible=True),
@@ -49,6 +53,7 @@ def test_table3_volume_preservation_measured(benchmark, record_text):
         "table3_volume_preservation",
         format_rows([summary], title="Incompressible synthetic registration (measured)"),
     )
+    record_json("table3_volume_preservation", {"summary": summary})
     assert summary["relative_residual"] < 1.0
     # det(grad y) must stay close to one everywhere (volume preserving)
     assert abs(summary["det_grad_min"] - 1.0) < 0.15

@@ -16,7 +16,7 @@ from repro.core.registration import RegistrationSolver
 from repro.data.brain import brain_registration_pair
 
 
-def test_table4_rows(benchmark, record_text, measured_synthetic_counts):
+def test_table4_rows(benchmark, record_text, record_json, measured_synthetic_counts):
     counts = measured_synthetic_counts
 
     def build():
@@ -33,6 +33,7 @@ def test_table4_rows(benchmark, record_text, measured_synthetic_counts):
             entries, title="Table IV (brain, 256x300x256, Maverick): paper vs model"
         ),
     )
+    record_json("table4_brain_strong_scaling", {"entries": entries})
     assert len(entries) == 2 * len(TABLE_IV)
     model = [e for e in entries if e["source"] == "model"]
     # the paper's headline: going from 1 task to 256 tasks cuts the wall-clock
@@ -41,7 +42,7 @@ def test_table4_rows(benchmark, record_text, measured_synthetic_counts):
     assert speedup > 30.0
 
 
-def test_table4_brain_phantom_registration_measured(benchmark, record_text):
+def test_table4_brain_phantom_registration_measured(benchmark, record_text, record_json):
     """Measured registration of the multi-subject brain phantom (2 GN iterations,
     beta = 1e-2, the setup of the paper's scalability runs)."""
     pair = brain_registration_pair(base_resolution=24, seed=42)
@@ -60,5 +61,6 @@ def test_table4_brain_phantom_registration_measured(benchmark, record_text):
         "table4_brain_measured",
         format_rows([summary], title="Brain-phantom registration, 2 GN iterations (measured)"),
     )
+    record_json("table4_brain_measured", {"summary": summary})
     assert summary["residual_after"] < summary["residual_before"]
     assert summary["det_grad_min"] > 0.0

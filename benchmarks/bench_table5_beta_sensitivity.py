@@ -47,7 +47,7 @@ def _pcg_iterations_for_beta(pair, beta: float) -> int:
     return result.iterations
 
 
-def test_table5_preconditioner_beta_dependence(benchmark, record_text):
+def test_table5_preconditioner_beta_dependence(benchmark, record_text, record_json):
     pair = brain_registration_pair(base_resolution=16, seed=42)
     iterations = benchmark.pedantic(
         lambda: {beta: _pcg_iterations_for_beta(pair, beta) for beta in BETAS},
@@ -68,13 +68,14 @@ def test_table5_preconditioner_beta_dependence(benchmark, record_text):
             ),
         ),
     )
+    record_json("table5_preconditioner_beta_dependence", {"rows": rows})
     its = [iterations[beta] for beta in BETAS]
     # the Krylov work grows monotonically as beta decreases (paper: 43 -> 1689)
     assert its[0] < its[1] < its[2]
     assert its[2] >= 2 * its[0]
 
 
-def test_table5_full_solve_report(benchmark, record_text):
+def test_table5_full_solve_report(benchmark, record_text, record_json):
     rows = benchmark.pedantic(
         lambda: reproduce_beta_sensitivity(
             resolution=16,
@@ -95,6 +96,7 @@ def test_table5_full_solve_report(benchmark, record_text):
             ),
         ),
     )
+    record_json("table5_beta_sensitivity", {"rows": rows})
     for row in rows:
         assert row["hessian_matvecs"] > 0
         assert row["relative_residual"] < 1.0

@@ -18,11 +18,26 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 from __future__ import annotations
 
 import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
+#: Name and version of the machine-readable benchmark artifact envelope;
+#: every ``record_json`` document carries it so collectors can dispatch on
+#: the schema without knowing the individual bench payloads.
+BENCH_SCHEMA = "repro.bench-result"
+BENCH_SCHEMA_VERSION = 1
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars and other non-native payload values."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
 
 
 @pytest.fixture(scope="session")
@@ -50,11 +65,28 @@ def record_json(results_dir):
 
     The JSON twin of ``record_text``: one document per benchmark, stable
     key order, so successive PRs can diff the perf trajectory directly.
+    Every document is wrapped in the ``repro.bench-result`` envelope
+    (schema, bench name, UTC timestamp); the payload must not collide with
+    the envelope keys.
     """
 
     def _write(name: str, payload: dict) -> Path:
+        envelope = {
+            "schema": BENCH_SCHEMA,
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "bench": name,
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+        }
+        collisions = sorted(envelope.keys() & payload.keys())
+        if collisions:
+            raise ValueError(
+                f"bench payload {name!r} collides with envelope keys: {collisions}"
+            )
+        document = {**envelope, **payload}
         path = results_dir / f"{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True, default=_coerce) + "\n"
+        )
         print(f"json artifact written to {path}")
         return path
 

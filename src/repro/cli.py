@@ -55,6 +55,12 @@ from repro.core.registration import RegistrationSolver
 from repro.data.brain import brain_registration_pair
 from repro.data.io import load_problem, memmap_npz_member, open_problem
 from repro.data.synthetic import synthetic_population, synthetic_registration_problem
+from repro.observability import (
+    env_trace_out,
+    format_phase_table,
+    tracing_enabled,
+    write_chrome_trace,
+)
 from repro.parallel.machines import get_machine
 from repro.parallel.performance import RegistrationCostModel
 from repro.runtime import get_plan_pool, layout_decision_log
@@ -153,6 +159,26 @@ def _add_config_flags(sub: argparse.ArgumentParser) -> None:
             "default: $REPRO_FIELD_SOURCE or 'resident')"
         ),
     )
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        default=None,
+        help=(
+            "record structured tracing spans for every solver/runtime phase "
+            "(default: $REPRO_TRACE; results are bitwise unchanged)"
+        ),
+    )
+    sub.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the recorded spans as Chrome trace-event JSON to PATH "
+            "(loadable in Perfetto / chrome://tracing; implies --trace; "
+            "default: $REPRO_TRACE_OUT)"
+        ),
+    )
 
 
 def _config_from_args(
@@ -168,6 +194,8 @@ def _config_from_args(
         "auto_fraction": args.auto_fraction,
         "workers": args.workers,
         "field_source": args.field_source,
+        "trace": args.trace,
+        "trace_out": args.trace_out,
     }
     return base.replace(**{name: value for name, value in overrides.items() if value is not None})
 
@@ -288,6 +316,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _export_trace(config: RegistrationConfig) -> Optional[str]:
+    """Write the Chrome trace file when tracing is on and a path is set."""
+    if not tracing_enabled():
+        return None
+    path = config.trace_out if config.trace_out is not None else env_trace_out()
+    if not path:
+        return None
+    write_chrome_trace(path)
+    return path
+
+
 def _load_pair(args: argparse.Namespace):
     if args.input:
         if default_field_source() == "memmap":
@@ -377,6 +416,13 @@ def _run_register(
                 f"  last: {last.layout} for {last.num_points} points "
                 f"({last.reason})"
             )
+        phase_table = format_phase_table()
+        if phase_table:
+            print("phase timings (traced spans):")
+            print(phase_table)
+    trace_path = _export_trace(config)
+    if trace_path:
+        print(f"trace written to {trace_path}")
     if args.output:
         np.savez_compressed(
             args.output,
@@ -465,6 +511,9 @@ def _run_serve(
     for job in atlas.jobs:
         if job.record.error is not None:
             print(f"job {job.job_id} failed: {job.record.error}", file=sys.stderr)
+    trace_path = _export_trace(config)
+    if trace_path:
+        print(f"trace written to {trace_path}")
     if args.artifacts_dir:
         print(f"per-job artifacts written to {args.artifacts_dir}")
     if args.output and atlas.mean_deformed is not None:

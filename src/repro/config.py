@@ -36,6 +36,13 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.observability.trace import (
+    disable_tracing,
+    enable_tracing,
+    env_trace_enabled,
+    env_trace_out,
+    tracing_enabled,
+)
 from repro.runtime.layout import auto_streaming_fraction, set_auto_fraction
 from repro.runtime.plan_pool import configure_plan_pool, env_pool_budget, get_plan_pool
 from repro.runtime.workers import resolve_workers, set_default_workers
@@ -77,6 +84,16 @@ class RegistrationConfig:
         Field-source mode (``"resident"``, ``"memmap"``); ``memmap`` runs
         every frontend gather through a disk-backed source (the
         ``REPRO_FIELD_SOURCE`` / ``--field-source`` knob).
+    trace:
+        Enable structured tracing spans (the ``REPRO_TRACE`` / ``--trace``
+        knob).  Applying ``trace=True`` turns the process-wide recorder on;
+        ``None`` defers to the environment.  Tracing never changes results
+        — spans observe the kernels, the numerics are untouched.
+    trace_out:
+        Path for the Chrome trace-event JSON export (the
+        ``REPRO_TRACE_OUT`` / ``--trace-out`` knob).  Consumed by the CLI
+        after the solve; setting it implies ``trace`` unless tracing was
+        explicitly disabled.
     """
 
     fft_backend: Optional[str] = None
@@ -86,6 +103,8 @@ class RegistrationConfig:
     plan_pool_bytes: Optional[int] = None
     auto_fraction: Optional[float] = None
     field_source: Optional[str] = None
+    trace: Optional[bool] = None
+    trace_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and int(self.workers) < 1:
@@ -120,6 +139,8 @@ class RegistrationConfig:
             plan_pool_bytes=get_plan_pool().max_bytes,
             auto_fraction=auto_streaming_fraction(),
             field_source=field_sources.default_field_source(),
+            trace=tracing_enabled() or bool(env_trace_enabled()),
+            trace_out=env_trace_out(),
         )
 
     def replace(self, **changes: object) -> "RegistrationConfig":
@@ -155,6 +176,7 @@ class RegistrationConfig:
         auto_streaming_fraction()  # ... and $REPRO_PLAN_AUTO_FRACTION
         env_pool_budget()  # ... and $REPRO_PLAN_POOL_BYTES
         field_sources.default_field_source()  # ... and $REPRO_FIELD_SOURCE
+        env_trace_enabled()  # ... and $REPRO_TRACE
         for subsystem in ("fft", "interp", "service", "io"):  # ... and the worker vars
             resolve_workers(subsystem)
         return self
@@ -178,6 +200,13 @@ class RegistrationConfig:
             configure_plan_pool(self.plan_pool_bytes)
         if self.field_source is not None:
             field_sources.set_default_field_source(self.field_source)
+        if self.trace is not None:
+            if self.trace:
+                enable_tracing()
+            else:
+                disable_tracing()
+        elif self.trace_out is not None:
+            enable_tracing()
         return self
 
     # ------------------------------------------------------------------ #

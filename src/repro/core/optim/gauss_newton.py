@@ -29,6 +29,7 @@ from repro.core.optim.line_search import ArmijoLineSearch
 from repro.core.optim.pcg import pcg
 from repro.core.preconditioner import SpectralPreconditioner
 from repro.core.problem import OuterIterate, RegistrationProblem
+from repro.observability.trace import trace_span
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("core.optim.gauss_newton")
@@ -214,64 +215,70 @@ class GaussNewtonKrylov:
 
             forcing = options.forcing_term(iterate.gradient_norm, initial_gradient_norm)
             matvec_count_before = problem.hessian_matvec_count
-            pcg_result = pcg(
-                matvec=problem.hessian_operator(iterate),
-                rhs=-iterate.gradient,
-                grid=grid,
-                preconditioner=preconditioner,
-                rel_tol=forcing,
-                max_iterations=options.max_krylov_iterations,
-            )
-            matvecs_this_iteration = problem.hessian_matvec_count - matvec_count_before
-            total_matvecs += matvecs_this_iteration
-            total_pcg += pcg_result.iterations
-
-            direction = pcg_result.solution
-            if not np.any(direction):
-                # PCG returned a zero step (e.g. immediate negative curvature);
-                # fall back to preconditioned steepest descent.
-                direction = preconditioner(-iterate.gradient)
-
-            ls = options.line_search.search(
-                objective=objective_of,
-                grid=grid,
-                current_point=iterate.velocity,
-                current_objective=iterate.objective.total,
-                gradient=iterate.gradient,
-                direction=direction,
-            )
-            if not ls.success:
-                # Retry along the preconditioned negative gradient before
-                # declaring failure.
-                direction = preconditioner(-iterate.gradient)
-                ls = options.line_search.search(
-                    objective=objective_of,
-                    grid=grid,
-                    current_point=iterate.velocity,
-                    current_objective=iterate.objective.total,
-                    gradient=iterate.gradient,
-                    direction=direction,
-                )
-                if not ls.success:
-                    reason = "line_search_failure"
-                    records.append(
-                        self._record(
-                            iteration,
-                            iterate,
-                            rel_gnorm,
-                            forcing,
-                            pcg_result.iterations,
-                            matvecs_this_iteration,
-                            0.0,
-                            ls.evaluations,
-                            start,
-                        )
+            with trace_span("newton.iteration", iteration=iteration) as iteration_span:
+                with trace_span("newton.pcg", forcing=forcing):
+                    pcg_result = pcg(
+                        matvec=problem.hessian_operator(iterate),
+                        rhs=-iterate.gradient,
+                        grid=grid,
+                        preconditioner=preconditioner,
+                        rel_tol=forcing,
+                        max_iterations=options.max_krylov_iterations,
                     )
-                    break
+                matvecs_this_iteration = problem.hessian_matvec_count - matvec_count_before
+                total_matvecs += matvecs_this_iteration
+                total_pcg += pcg_result.iterations
+                iteration_span.set_attr("hessian_matvecs", matvecs_this_iteration)
 
-            velocity = iterate.velocity + ls.step_length * direction
-            velocity = problem.project(velocity)
-            iterate = problem.linearize(velocity)
+                direction = pcg_result.solution
+                if not np.any(direction):
+                    # PCG returned a zero step (e.g. immediate negative
+                    # curvature); fall back to preconditioned steepest descent.
+                    direction = preconditioner(-iterate.gradient)
+
+                with trace_span("newton.line_search"):
+                    ls = options.line_search.search(
+                        objective=objective_of,
+                        grid=grid,
+                        current_point=iterate.velocity,
+                        current_objective=iterate.objective.total,
+                        gradient=iterate.gradient,
+                        direction=direction,
+                    )
+                if not ls.success:
+                    # Retry along the preconditioned negative gradient before
+                    # declaring failure.
+                    direction = preconditioner(-iterate.gradient)
+                    with trace_span("newton.line_search", retry=True):
+                        ls = options.line_search.search(
+                            objective=objective_of,
+                            grid=grid,
+                            current_point=iterate.velocity,
+                            current_objective=iterate.objective.total,
+                            gradient=iterate.gradient,
+                            direction=direction,
+                        )
+                    if not ls.success:
+                        reason = "line_search_failure"
+                        records.append(
+                            self._record(
+                                iteration,
+                                iterate,
+                                rel_gnorm,
+                                forcing,
+                                pcg_result.iterations,
+                                matvecs_this_iteration,
+                                0.0,
+                                ls.evaluations,
+                                start,
+                            )
+                        )
+                        break
+
+                velocity = iterate.velocity + ls.step_length * direction
+                velocity = problem.project(velocity)
+                with trace_span("newton.linearize"):
+                    iterate = problem.linearize(velocity)
 
             records.append(
                 self._record(

@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.observability.trace import trace_span
 from repro.spectral.grid import Grid
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
@@ -110,7 +111,8 @@ class ArmijoLineSearch:
         evaluations = 0
         while evaluations < self.max_evaluations:
             trial = current_point + sign * step * direction
-            value = objective(trial)
+            with trace_span("line_search.trial", step=sign * step):
+                value = objective(trial)
             evaluations += 1
             sufficient = current_objective + self.c1 * step * directional_derivative
             if np.isfinite(value) and value <= sufficient:

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.observability.trace import trace_span
 from repro.spectral.grid import Grid
 from repro.utils.logging import get_logger
 
@@ -111,7 +112,8 @@ def pcg(
     converged = False
     iterations = 0
     for iteration in range(max_iterations):
-        hp = matvec(p)
+        with trace_span("pcg.matvec", iteration=iteration):
+            hp = matvec(p)
         curvature = grid.inner(p, hp)
         iterations = iteration + 1
         if curvature <= 0.0:

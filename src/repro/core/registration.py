@@ -29,6 +29,8 @@ from repro.core.optim.gauss_newton import (
 from repro.core.optim.gradient_descent import GradientDescent
 from repro.core.problem import RegistrationProblem
 from repro.data.preprocessing import normalize_intensity, smooth_image
+from repro.observability.snapshot import snapshot as observability_snapshot
+from repro.observability.trace import trace_span
 from repro.runtime.plan_pool import PoolStats, get_plan_pool
 from repro.spectral.grid import Grid
 from repro.transport.deformation import DeformationMap
@@ -40,8 +42,10 @@ LOGGER = get_logger("core.registration")
 #: Name and version of the JSON document :meth:`RegistrationResult.to_dict`
 #: emits.  The CLI's verbose report and the job service's per-job artifacts
 #: share this one schema; bump the version on any breaking field change.
+#: v2: adds the embedded ``observability`` snapshot block
+#: (``repro.observability-snapshot`` v1).
 RESULT_SCHEMA = "repro.registration-result"
-RESULT_SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 2
 
 _legacy_kwargs_warned = False
 
@@ -170,6 +174,7 @@ class RegistrationResult:
                 if self.field_sources is not None
                 else None
             ),
+            "observability": _jsonable(observability_snapshot()),
             "elapsed_seconds": float(self.elapsed_seconds),
         }
 
@@ -300,31 +305,37 @@ class RegistrationSolver:
         start = time.perf_counter()
         pool_before = get_plan_pool().stats
         sources_before = field_source_log().snapshot()
-        problem = self.build_problem(template, reference, grid)
+        with trace_span(
+            "registration.solve",
+            optimizer=self.optimizer,
+            nt=self.num_time_steps,
+        ) as root_span:
+            problem = self.build_problem(template, reference, grid)
+            root_span.set_attr("shape", list(problem.grid.shape))
 
-        if self.optimizer == "gauss_newton":
-            driver = GaussNewtonKrylov(problem, self.options)
-        elif self.optimizer == "gradient_descent":
-            driver = GradientDescent(problem, self.options)
-        else:
-            raise ValueError(
-                f"unknown optimizer {self.optimizer!r}; expected 'gauss_newton' or "
-                "'gradient_descent'"
+            if self.optimizer == "gauss_newton":
+                driver = GaussNewtonKrylov(problem, self.options)
+            elif self.optimizer == "gradient_descent":
+                driver = GradientDescent(problem, self.options)
+            else:
+                raise ValueError(
+                    f"unknown optimizer {self.optimizer!r}; expected 'gauss_newton' or "
+                    "'gradient_descent'"
+                )
+            optimization = driver.solve(initial_velocity)
+
+            deformation = DeformationMap(
+                problem.grid,
+                optimization.velocity,
+                num_time_steps=self.num_time_steps,
+                interpolation=self.interpolation,
+                operators=problem.operators,
+                interp_backend=self.interp_backend,
             )
-        optimization = driver.solve(initial_velocity)
-
-        deformation = DeformationMap(
-            problem.grid,
-            optimization.velocity,
-            num_time_steps=self.num_time_steps,
-            interpolation=self.interpolation,
-            operators=problem.operators,
-            interp_backend=self.interp_backend,
-        )
-        deformed_template = optimization.final_iterate.deformed_template
-        res_before = residual_norm(problem.reference, problem.template, problem.grid)
-        res_after = residual_norm(problem.reference, deformed_template, problem.grid)
-        det_stats = determinant_summary(deformation.determinant())
+            deformed_template = optimization.final_iterate.deformed_template
+            res_before = residual_norm(problem.reference, problem.template, problem.grid)
+            res_after = residual_norm(problem.reference, deformed_template, problem.grid)
+            det_stats = determinant_summary(deformation.determinant())
         elapsed = time.perf_counter() - start
 
         LOGGER.info(

@@ -1,0 +1,38 @@
+"""Text rendering of observability data for the verbose CLI report."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.observability.trace import TraceRecorder, get_trace_recorder
+
+__all__ = ["format_phase_table"]
+
+
+def format_phase_table(recorder: Optional[TraceRecorder] = None) -> str:
+    """Compact per-phase timing table from recorded spans.
+
+    One row per span name, sorted by descending total time::
+
+        phase                       spans     count   total_s     max_s
+        registration.solve              1         1    0.4812    0.4812
+        fft.forward                   152       166    0.1033    0.0041
+        ...
+
+    Returns an empty string when no spans were recorded (tracing off), so
+    callers can print it unconditionally.
+    """
+    rec = recorder if recorder is not None else get_trace_recorder()
+    rows = rec.summary()
+    if not rows:
+        return ""
+    name_width = max(len("phase"), max(len(row["name"]) for row in rows))
+    lines: List[str] = [
+        f"{'phase':<{name_width}}  {'spans':>8}  {'count':>8}  {'total_s':>9}  {'max_s':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{name_width}}  {row['spans']:>8d}  {row['count']:>8d}  "
+            f"{row['total_seconds']:>9.4f}  {row['max_seconds']:>9.4f}"
+        )
+    return "\n".join(lines)

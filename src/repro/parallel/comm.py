@@ -20,7 +20,20 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.observability.metrics import get_metrics_registry
+from repro.observability.trace import trace_span
 from repro.utils.validation import check_positive_int
+
+_comm_registry = get_metrics_registry()
+_COMM_MESSAGES = _comm_registry.counter(
+    "comm.messages", "simulated MPI messages by category"
+)
+_COMM_BYTES = _comm_registry.counter(
+    "comm.bytes", "simulated MPI payload bytes by category"
+)
+_COMM_CALLS = _comm_registry.counter(
+    "comm.calls", "simulated MPI collective calls by category"
+)
 
 
 @dataclass
@@ -47,6 +60,11 @@ class CommunicationLedger:
         if category not in self.entries:
             self.entries[category] = LedgerEntry()
         self.entries[category].add(messages, payload_bytes)
+        # mirror into the process-wide metrics registry; every ledger
+        # (there is one per simulated communicator) feeds the same series
+        _COMM_MESSAGES.inc(int(messages), category=category)
+        _COMM_BYTES.inc(int(payload_bytes), category=category)
+        _COMM_CALLS.inc(1, category=category)
 
     def messages(self, category: str | None = None) -> int:
         if category is not None:
@@ -120,16 +138,19 @@ class SimulatedCommunicator:
                     f"send[{i}] must have one entry per destination rank, got {len(row)}"
                 )
         recv: List[List[np.ndarray]] = [[None] * self.size for _ in range(self.size)]
-        messages = 0
-        payload = 0
-        for i in range(self.size):
-            for j in range(self.size):
-                data = np.asarray(send[i][j])
-                recv[j][i] = data
-                if i != j and data.size:
-                    messages += 1
-                    payload += self._payload_bytes(data)
-        self.ledger.record(category, messages, payload)
+        with trace_span("comm.alltoallv", category=category, ranks=self.size) as span:
+            messages = 0
+            payload = 0
+            for i in range(self.size):
+                for j in range(self.size):
+                    data = np.asarray(send[i][j])
+                    recv[j][i] = data
+                    if i != j and data.size:
+                        messages += 1
+                        payload += self._payload_bytes(data)
+            self.ledger.record(category, messages, payload)
+            span.set_attr("messages", messages)
+            span.set_attr("bytes", payload)
         return recv
 
     def exchange(
@@ -143,19 +164,22 @@ class SimulatedCommunicator:
         pairs it received (in submission order).
         """
         inbox: List[List[tuple[int, np.ndarray]]] = [[] for _ in range(self.size)]
-        count = 0
-        payload = 0
-        for source, destination, data in messages:
-            if not (0 <= source < self.size and 0 <= destination < self.size):
-                raise ValueError(
-                    f"invalid ranks ({source} -> {destination}) for communicator of size {self.size}"
-                )
-            data = np.asarray(data)
-            inbox[destination].append((source, data))
-            if source != destination and data.size:
-                count += 1
-                payload += self._payload_bytes(data)
-        self.ledger.record(category, count, payload)
+        with trace_span("comm.exchange", category=category, ranks=self.size) as span:
+            count = 0
+            payload = 0
+            for source, destination, data in messages:
+                if not (0 <= source < self.size and 0 <= destination < self.size):
+                    raise ValueError(
+                        f"invalid ranks ({source} -> {destination}) for communicator of size {self.size}"
+                    )
+                data = np.asarray(data)
+                inbox[destination].append((source, data))
+                if source != destination and data.size:
+                    count += 1
+                    payload += self._payload_bytes(data)
+            self.ledger.record(category, count, payload)
+            span.set_attr("messages", count)
+            span.set_attr("bytes", payload)
         return inbox
 
     def allreduce_sum(self, values: Sequence[float], category: str = "allreduce") -> float:

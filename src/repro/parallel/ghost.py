@@ -30,6 +30,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.observability.trace import trace_span
 from repro.parallel.comm import SimulatedCommunicator
 from repro.parallel.pencil import PencilDecomposition
 
@@ -140,29 +141,34 @@ def exchange_ghost_layers_batched(
     # the corner halos are carried along automatically.  Two separate
     # exchanges per axis (high-strip-to-successor, low-strip-to-predecessor)
     # keep the receive side unambiguous even for periodic rings of length 2.
-    for grid_axis, direction in ((axis_a, "p1"), (axis_b, "p2")):
-        axis = grid_axis + 1  # account for the batch axis
-        high_messages = []
-        low_messages = []
-        for rank in range(p):
-            prev_rank, next_rank = neighbours(rank, direction)
-            stack = extended[rank]
-            n = stack.shape[axis]
-            low_strip = np.take(stack, range(0, width), axis=axis)
-            high_strip = np.take(stack, range(n - width, n), axis=axis)
-            # my high boundary is my successor's low halo; my low boundary is
-            # my predecessor's high halo
-            high_messages.append((rank, next_rank, high_strip))
-            low_messages.append((rank, prev_rank, low_strip))
-        inbox_low_halos = comm.exchange(high_messages, category="ghost_exchange")
-        inbox_high_halos = comm.exchange(low_messages, category="ghost_exchange")
+    with trace_span(
+        "parallel.ghost_exchange", width=width, ranks=p, batch=int(batch)
+    ):
+        for grid_axis, direction in ((axis_a, "p1"), (axis_b, "p2")):
+            axis = grid_axis + 1  # account for the batch axis
+            high_messages = []
+            low_messages = []
+            for rank in range(p):
+                prev_rank, next_rank = neighbours(rank, direction)
+                stack = extended[rank]
+                n = stack.shape[axis]
+                low_strip = np.take(stack, range(0, width), axis=axis)
+                high_strip = np.take(stack, range(n - width, n), axis=axis)
+                # my high boundary is my successor's low halo; my low boundary
+                # is my predecessor's high halo
+                high_messages.append((rank, next_rank, high_strip))
+                low_messages.append((rank, prev_rank, low_strip))
+            inbox_low_halos = comm.exchange(high_messages, category="ghost_exchange")
+            inbox_high_halos = comm.exchange(low_messages, category="ghost_exchange")
 
-        new_stacks: List[np.ndarray] = [None] * p
-        for rank in range(p):
-            (_, low_halo), = inbox_low_halos[rank]
-            (_, high_halo), = inbox_high_halos[rank]
-            new_stacks[rank] = np.concatenate([low_halo, extended[rank], high_halo], axis=axis)
-        extended = new_stacks
+            new_stacks: List[np.ndarray] = [None] * p
+            for rank in range(p):
+                (_, low_halo), = inbox_low_halos[rank]
+                (_, high_halo), = inbox_high_halos[rank]
+                new_stacks[rank] = np.concatenate(
+                    [low_halo, extended[rank], high_halo], axis=axis
+                )
+            extended = new_stacks
     return extended
 
 

@@ -35,6 +35,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Tuple
 
+from repro.observability.metrics import get_metrics_registry
+
 #: Environment variable with the auto-layout threshold: ``auto`` picks the
 #: streaming layout when the projected lean-plan bytes exceed this fraction
 #: of the plan-pool budget.
@@ -148,6 +150,21 @@ _decision_log = LayoutDecisionLog()
 def layout_decision_log() -> LayoutDecisionLog:
     """The shared process-wide auto-layout decision log."""
     return _decision_log
+
+
+def _collect_layout_metrics() -> Dict[str, Dict[str, int]]:
+    """Pull collector publishing auto-layout decision counts to the registry."""
+    counts = _decision_log.counts()
+    if not counts:
+        return {}
+    return {
+        "layout.decisions": {
+            f"layout={layout}": count for layout, count in counts.items()
+        }
+    }
+
+
+get_metrics_registry().register_collector("layout_decisions", _collect_layout_metrics)
 
 
 def select_layout(

@@ -40,6 +40,9 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.observability.metrics import get_metrics_registry
+from repro.observability.trace import trace_span
+
 #: Environment variable with the pool budget in bytes.
 POOL_BYTES_ENV_VAR = "REPRO_PLAN_POOL_BYTES"
 
@@ -269,7 +272,8 @@ class PlanPool:
                     owner = False
             if owner:
                 try:
-                    value = builder()
+                    with trace_span("plan_pool.build", tag=key_tag(key)):
+                        value = builder()
                     size = int(nbytes(value) if nbytes is not None else value.nbytes)
                 except BaseException:
                     with self._lock:
@@ -496,3 +500,23 @@ def reset_plan_pool() -> PlanPool:
     pool = get_plan_pool()
     pool.reset()
     return pool
+
+
+def _collect_pool_metrics() -> Dict[str, Dict[str, int]]:
+    """Pull collector publishing the shared pool's stats into the registry.
+
+    Pool-wide values land under the empty label key; per-tag counters are
+    labelled ``tag=<entry kind>`` (gauges are pool-wide only).
+    """
+    pool = get_plan_pool()
+    series: Dict[str, Dict[str, int]] = {
+        f"plan_pool.{key}": {"": value} for key, value in pool.stats.as_dict().items()
+    }
+    for tag, stats in pool.stats_by_tag().items():
+        label = f"tag={tag}"
+        for key in ("hits", "misses", "evictions", "oversize_rejections"):
+            series[f"plan_pool.{key}"][label] = getattr(stats, key)
+    return series
+
+
+get_metrics_registry().register_collector("plan_pool", _collect_pool_metrics)

@@ -22,6 +22,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from repro.observability import snapshot as observability_snapshot
 from repro.service.jobs import Job
 
 #: Name and version of the per-job artifact document; bump the version on
@@ -44,11 +45,16 @@ def artifact_path(directory: Union[str, Path], job: Job) -> Path:
 
 
 def job_artifact(job: Job) -> Dict[str, Any]:
-    """The artifact document of *job* (JSON-ready)."""
+    """The artifact document of *job* (JSON-ready).
+
+    Carries the process-wide ``repro.observability-snapshot`` document
+    under ``"observability"`` (additive; the job record is unchanged).
+    """
     return {
         "schema": ARTIFACT_SCHEMA,
         "schema_version": ARTIFACT_SCHEMA_VERSION,
         "job": job.record.as_dict(),
+        "observability": observability_snapshot(),
     }
 
 

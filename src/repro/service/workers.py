@@ -37,6 +37,8 @@ import numpy as np
 
 from repro.config import RegistrationConfig
 from repro.core.registration import register
+from repro.observability import snapshot as observability_snapshot
+from repro.observability import trace_span
 from repro.parallel.comm import SimulatedCommunicator
 from repro.parallel.pencil import PencilDecomposition
 from repro.parallel.transport import DistributedTransportSolver
@@ -104,6 +106,10 @@ class RegistrationService:
         if config is not None:
             config.apply()
         self.num_workers = resolve_workers("service", num_workers)
+        # Fail fast on a malformed REPRO_IO_WORKERS before any job runs:
+        # the out-of-core sources resolve it lazily on the first prefetch,
+        # which would otherwise surface as a per-job failure mid-run.
+        resolve_workers("io")
         self.max_batch = int(max_batch)
         self.artifacts_dir = Path(artifacts_dir) if artifacts_dir is not None else None
         self.queue = SubmissionQueue()
@@ -224,6 +230,7 @@ class RegistrationService:
             "plan_pool": pool.as_dict(),
             "plan_pool_hit_rate": _hit_rate(pool.hits, pool.misses),
             "layout_decisions": layout_decision_log().counts(),
+            "observability": observability_snapshot(),
         }
 
     # ------------------------------------------------------------------ #
@@ -231,7 +238,9 @@ class RegistrationService:
     # ------------------------------------------------------------------ #
     def _worker_loop(self) -> None:
         while True:
-            batch = self.queue.claim_batch(self.max_batch)
+            with trace_span("service.claim", max_batch=self.max_batch) as claim_span:
+                batch = self.queue.claim_batch(self.max_batch)
+                claim_span.set_attr("jobs", 0 if batch is None else len(batch))
             if batch is None:
                 return
             try:
@@ -251,11 +260,12 @@ class RegistrationService:
             if len(batch) > 1:
                 self._batched_jobs += len(batch)
         kind = batch[0].record.kind
-        if kind == "transport" and len(batch) >= 1:
-            self._execute_transport_batch(batch)
-        else:
-            for job in batch:
-                self._execute_registration(job)
+        with trace_span("service.batch", kind=kind, jobs=len(batch)):
+            if kind == "transport" and len(batch) >= 1:
+                self._execute_transport_batch(batch)
+            else:
+                for job in batch:
+                    self._execute_registration(job)
 
     def _execute_registration(self, job: Job) -> None:
         spec: RegistrationJobSpec = job.spec
@@ -263,22 +273,23 @@ class RegistrationService:
         pool_before = pool.stats
         decisions_before = layout_decision_log().total
         try:
-            result = register(
-                spec.template,
-                spec.reference,
-                beta=spec.beta,
-                regularization=spec.regularization,
-                incompressible=spec.incompressible,
-                num_time_steps=spec.num_time_steps,
-                gauss_newton=spec.gauss_newton,
-                optimizer=spec.optimizer,
-                options=spec.options,
-                grid=spec.grid,
-                smooth_sigma=spec.smooth_sigma,
-                normalize=spec.normalize,
-                interpolation=spec.interpolation,
-                config=self.config,
-            )
+            with trace_span("service.job", kind="registration", job_id=job.job_id):
+                result = register(
+                    spec.template,
+                    spec.reference,
+                    beta=spec.beta,
+                    regularization=spec.regularization,
+                    incompressible=spec.incompressible,
+                    num_time_steps=spec.num_time_steps,
+                    gauss_newton=spec.gauss_newton,
+                    optimizer=spec.optimizer,
+                    options=spec.options,
+                    grid=spec.grid,
+                    smooth_sigma=spec.smooth_sigma,
+                    normalize=spec.normalize,
+                    interpolation=spec.interpolation,
+                    config=self.config,
+                )
         except Exception as exc:  # noqa: BLE001 - job-level isolation
             job._fail(str(exc), traceback.format_exc())
             self._journal(job)
@@ -302,14 +313,20 @@ class RegistrationService:
         pool_before = pool.stats
         decisions_before = layout_decision_log().total
         try:
-            solver = DistributedTransportSolver(
-                grid,
-                decomposition,
-                num_time_steps=lead.num_time_steps,
-                comm=comm,
-            )
-            templates = np.stack([job.spec.moving for job in batch], axis=0)
-            transported = solver.solve_state_many(lead.velocity, templates)
+            with trace_span(
+                "service.job",
+                kind="transport",
+                jobs=len(batch),
+                num_tasks=lead.num_tasks,
+            ):
+                solver = DistributedTransportSolver(
+                    grid,
+                    decomposition,
+                    num_time_steps=lead.num_time_steps,
+                    comm=comm,
+                )
+                templates = np.stack([job.spec.moving for job in batch], axis=0)
+                transported = solver.solve_state_many(lead.velocity, templates)
         except Exception as exc:  # noqa: BLE001 - job-level isolation
             text = traceback.format_exc()
             for job in batch:
@@ -335,6 +352,7 @@ class RegistrationService:
         if self.artifacts_dir is None:
             return
         try:
-            write_job_artifact(self.artifacts_dir, job)
+            with trace_span("service.artifact", job_id=job.job_id):
+                write_job_artifact(self.artifacts_dir, job)
         except Exception:  # noqa: BLE001 - journaling must never fail a job
             LOGGER.exception("failed to write the artifact of job %d", job.job_id)

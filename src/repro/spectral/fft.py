@@ -19,6 +19,11 @@ benchmark harness verify those counts against the analytic formula ``8*nt``
 FFTs per Hessian matvec.  Counting happens here — never in the backends —
 so the counters are exactly identical no matter which engine runs the
 transforms; a batched vector transform counts as three scalar transforms.
+
+Tracing spans (``fft.forward``/``fft.backward``) and the process-wide
+``fft.transforms`` metric are emitted at the same seam: each span carries
+the batch size as its ``count``, so summed span counts equal the counters
+exactly no matter how the transforms were batched.
 """
 
 from __future__ import annotations
@@ -27,8 +32,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.observability.metrics import get_metrics_registry
+from repro.observability.trace import trace_span
 from repro.spectral.backends import FFTBackend, get_backend
 from repro.spectral.grid import Grid
+
+_fft_metric = get_metrics_registry().counter(
+    "fft.transforms", "scalar 3D FFT executions by direction"
+)
+_FFT_FORWARD = _fft_metric.labels(direction="forward")
+_FFT_BACKWARD = _fft_metric.labels(direction="backward")
 
 #: The three trailing axes an n-d (batched) transform acts on.
 SPATIAL_AXES = (-3, -2, -1)
@@ -100,7 +113,9 @@ class FourierTransform:
                 f"field has shape {field_values.shape}, expected {self.grid.shape}"
             )
         self.counters.forward += 1
-        return self.backend.rfftn(field_values, axes=SPATIAL_AXES)
+        _FFT_FORWARD.inc()
+        with trace_span("fft.forward"):
+            return self.backend.rfftn(field_values, axes=SPATIAL_AXES)
 
     def backward(self, spectrum: np.ndarray) -> np.ndarray:
         """Inverse transform returning a real field on the grid."""
@@ -110,7 +125,9 @@ class FourierTransform:
                 f"spectrum has shape {spectrum.shape}, expected {self.spectral_shape}"
             )
         self.counters.backward += 1
-        out = self.backend.irfftn(spectrum, s=self.grid.shape, axes=SPATIAL_AXES)
+        _FFT_BACKWARD.inc()
+        with trace_span("fft.backward"):
+            out = self.backend.irfftn(spectrum, s=self.grid.shape, axes=SPATIAL_AXES)
         return out.astype(self.grid.dtype, copy=False)
 
     # ------------------------------------------------------------------ #
@@ -131,7 +148,9 @@ class FourierTransform:
             )
         batch = int(np.prod(fields.shape[:-3], dtype=int))
         self.counters.forward += batch
-        return self.backend.rfftn(fields, axes=SPATIAL_AXES)
+        _FFT_FORWARD.inc(batch)
+        with trace_span("fft.forward", count=batch, batch=batch):
+            return self.backend.rfftn(fields, axes=SPATIAL_AXES)
 
     def backward_batch(self, spectra: np.ndarray) -> np.ndarray:
         """Inverse transform of a ``(..., N1, N2, N3//2+1)`` spectral stack."""
@@ -143,7 +162,9 @@ class FourierTransform:
             )
         batch = int(np.prod(spectra.shape[:-3], dtype=int))
         self.counters.backward += batch
-        out = self.backend.irfftn(spectra, s=self.grid.shape, axes=SPATIAL_AXES)
+        _FFT_BACKWARD.inc(batch)
+        with trace_span("fft.backward", count=batch, batch=batch):
+            out = self.backend.irfftn(spectra, s=self.grid.shape, axes=SPATIAL_AXES)
         return out.astype(self.grid.dtype, copy=False)
 
     def forward_vector(self, vector_field: np.ndarray) -> np.ndarray:

@@ -38,6 +38,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.metrics import get_metrics_registry
+from repro.observability.trace import trace_span
 from repro.spectral.grid import Grid
 from repro.transport.kernels import (
     SUPPORTED_METHODS,
@@ -63,6 +65,13 @@ _SUPPORTED_METHODS = SUPPORTED_METHODS
 #: tricubic kernel; the paper estimates "roughly 10 x 64" flops per point
 #: (Sec. III-C2).  Used by the performance model.
 TRICUBIC_FLOPS_PER_POINT = 640
+
+_INTERP_SWEEPS = get_metrics_registry().counter(
+    "interp.sweeps", "whole-field interpolation sweeps (one field x one point set)"
+).labels()
+_INTERP_POINTS = get_metrics_registry().counter(
+    "interp.points", "total points interpolated"
+).labels()
 
 
 @dataclass
@@ -159,6 +168,8 @@ class PeriodicInterpolator:
     def _gather(self, fields: "np.ndarray | FieldSource", plan: GatherPlan) -> np.ndarray:
         batch = fields.num_fields if is_field_source(fields) else fields.shape[0]
         self.points_interpolated += batch * plan.num_points
+        _INTERP_SWEEPS.inc(batch)
+        _INTERP_POINTS.inc(batch * plan.num_points)
         if not is_field_source(fields):
             # forced out-of-core mode (REPRO_FIELD_SOURCE=memmap /
             # --field-source memmap): spool the resident stack to a
@@ -169,7 +180,13 @@ class PeriodicInterpolator:
 
             if default_field_source() == "memmap":
                 fields = SpooledMemmapFieldSource(fields)
-        return self.backend.gather(fields, plan.coordinates, plan.payload, self.method)
+        with trace_span(
+            "interp.gather",
+            count=batch,
+            points=batch * plan.num_points,
+            method=self.method,
+        ):
+            return self.backend.gather(fields, plan.coordinates, plan.payload, self.method)
 
     def _check_stack(self, fields: "np.ndarray | FieldSource") -> "np.ndarray | FieldSource":
         if is_field_source(fields):

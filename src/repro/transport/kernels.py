@@ -85,6 +85,8 @@ from typing import Callable, Dict, Optional, Protocol, Tuple, Type, Union, runti
 
 import numpy as np
 
+from repro.observability.metrics import get_metrics_registry
+from repro.observability.trace import trace_span
 from repro.runtime.workers import get_executor, resolve_workers
 from repro.spectral.backends import BackendUnavailableError
 
@@ -763,6 +765,17 @@ def field_source_log() -> FieldSourceLog:
     return _field_source_log
 
 
+def _collect_field_source_metrics() -> Dict[str, Dict[str, int]]:
+    """Pull collector publishing the field-source log into the registry."""
+    stats = _field_source_log.snapshot().as_dict()
+    return {f"field_source.{key}": {"": value} for key, value in stats.items()}
+
+
+get_metrics_registry().register_collector(
+    "field_sources", _collect_field_source_metrics
+)
+
+
 #: Monotonic identity tokens for in-memory sources.  Deliberately not
 #: ``id()``: object ids are reused after garbage collection, and a reused id
 #: inside a tile-cache key would serve another array's stale tiles.
@@ -1047,17 +1060,27 @@ def execute_stencil_plan(
     spans = plan.iter_chunks(chunk)
     if workers is None:
         workers = resolve_workers("interp")
-    if workers > 1 and len(spans) > 1:
-        executor = get_executor(workers)
-        list(
-            executor.map(
-                lambda span: run_chunk(flat_fields, plan, span[0], span[1], out),
-                spans,
+    # one aggregated span per plan execution — never per chunk, which
+    # would swamp the recorder at thousands of chunks per gather
+    with trace_span(
+        "stencil.execute",
+        num_points=plan.num_points,
+        fields=num_fields,
+        chunks=len(spans),
+        workers=workers,
+        tiled=tiled,
+    ):
+        if workers > 1 and len(spans) > 1:
+            executor = get_executor(workers)
+            list(
+                executor.map(
+                    lambda span: run_chunk(flat_fields, plan, span[0], span[1], out),
+                    spans,
+                )
             )
-        )
-    else:
-        for lo, hi in spans:
-            run_chunk(flat_fields, plan, lo, hi, out)
+        else:
+            for lo, hi in spans:
+                run_chunk(flat_fields, plan, lo, hi, out)
     return out
 
 

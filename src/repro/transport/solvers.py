@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.observability.trace import trace_span
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 from repro.transport.interpolation import PeriodicInterpolator
@@ -183,8 +184,9 @@ class TransportSolver:
         nt = plan.num_time_steps
         history = np.empty((nt + 1, *self.grid.shape), dtype=self.grid.dtype)
         history[0] = rho0
-        for j in range(nt):
-            history[j + 1] = plan.forward_stepper.step(history[j])
+        with trace_span("transport.state", nt=nt):
+            for j in range(nt):
+                history[j + 1] = plan.forward_stepper.step(history[j])
         return history
 
     def solve_state_final(self, plan: TransportPlan, rho0: np.ndarray) -> np.ndarray:
@@ -202,8 +204,9 @@ class TransportSolver:
         if rho0.shape != self.grid.shape:
             raise ValueError(f"rho0 has shape {rho0.shape}, expected {self.grid.shape}")
         nu = rho0
-        for _ in range(plan.num_time_steps):
-            nu = plan.forward_stepper.step(nu)
+        with trace_span("transport.state", nt=plan.num_time_steps, final_only=True):
+            for _ in range(plan.num_time_steps):
+                nu = plan.forward_stepper.step(nu)
         return nu
 
     # ------------------------------------------------------------------ #
@@ -229,16 +232,17 @@ class TransportSolver:
         history = np.empty((nt + 1, *self.grid.shape), dtype=self.grid.dtype)
         history[nt] = terminal
         div_v = plan.divergence
-        for j in range(nt, 0, -1):
-            lam = history[j]
-            if plan.is_divergence_free:
-                history[j - 1] = plan.backward_stepper.step(lam)
-            else:
-                history[j - 1] = plan.backward_stepper.step(
-                    lam,
-                    source_old=lam * div_v,
-                    source_new=lambda predictor, d=div_v: predictor * d,
-                )
+        with trace_span("transport.adjoint", nt=nt):
+            for j in range(nt, 0, -1):
+                lam = history[j]
+                if plan.is_divergence_free:
+                    history[j - 1] = plan.backward_stepper.step(lam)
+                else:
+                    history[j - 1] = plan.backward_stepper.step(
+                        lam,
+                        source_old=lam * div_v,
+                        source_new=lambda predictor, d=div_v: predictor * d,
+                    )
         return history
 
     # ------------------------------------------------------------------ #
@@ -275,13 +279,14 @@ class TransportSolver:
             )
 
         history = np.zeros((nt + 1, *self.grid.shape), dtype=self.grid.dtype)
-        rhs_old = rhs(0)
-        for j in range(nt):
-            rhs_new = rhs(j + 1)
-            history[j + 1] = plan.forward_stepper.step(
-                history[j], source_old=rhs_old, source_new=rhs_new
-            )
-            rhs_old = rhs_new
+        with trace_span("transport.incremental_state", nt=nt):
+            rhs_old = rhs(0)
+            for j in range(nt):
+                rhs_new = rhs(j + 1)
+                history[j + 1] = plan.forward_stepper.step(
+                    history[j], source_old=rhs_old, source_new=rhs_new
+                )
+                rhs_old = rhs_new
         return history
 
     # ------------------------------------------------------------------ #
@@ -349,28 +354,29 @@ class TransportSolver:
 
         history = np.empty((nt + 1, *self.grid.shape), dtype=self.grid.dtype)
         history[nt] = terminal
-        for j in range(nt, 0, -1):
-            lam_tilde = history[j]
-            source_old = np.zeros_like(lam_tilde)
-            if not plan.is_divergence_free:
-                source_old = lam_tilde * div_v
-            if newton_sources is not None:
-                source_old = source_old + newton_sources[j]
+        with trace_span("transport.incremental_adjoint", nt=nt, gauss_newton=gauss_newton):
+            for j in range(nt, 0, -1):
+                lam_tilde = history[j]
+                source_old = np.zeros_like(lam_tilde)
+                if not plan.is_divergence_free:
+                    source_old = lam_tilde * div_v
+                if newton_sources is not None:
+                    source_old = source_old + newton_sources[j]
 
-            extra_new = newton_sources[j - 1] if newton_sources is not None else 0.0
+                extra_new = newton_sources[j - 1] if newton_sources is not None else 0.0
 
-            if plan.is_divergence_free and newton_sources is None:
-                history[j - 1] = plan.backward_stepper.step(lam_tilde)
-            else:
-                def source_new(predictor: np.ndarray) -> np.ndarray:
-                    value = np.zeros_like(predictor)
-                    if not plan.is_divergence_free:
-                        value = predictor * div_v
-                    return value + extra_new
+                if plan.is_divergence_free and newton_sources is None:
+                    history[j - 1] = plan.backward_stepper.step(lam_tilde)
+                else:
+                    def source_new(predictor: np.ndarray) -> np.ndarray:
+                        value = np.zeros_like(predictor)
+                        if not plan.is_divergence_free:
+                            value = predictor * div_v
+                        return value + extra_new
 
-                history[j - 1] = plan.backward_stepper.step(
-                    lam_tilde, source_old=source_old, source_new=source_new
-                )
+                    history[j - 1] = plan.backward_stepper.step(
+                        lam_tilde, source_old=source_old, source_new=source_new
+                    )
         return history
 
     # ------------------------------------------------------------------ #

@@ -45,6 +45,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.io import memmap_npz_member
+from repro.observability.trace import trace_span
 from repro.runtime.plan_pool import get_plan_pool
 from repro.runtime.workers import get_subsystem_executor
 from repro.spectral.backends import BackendUnavailableError
@@ -528,9 +529,14 @@ class PrefetchingFieldSource(_DelegatingSource):
         if pos >= len(self._schedule) or pos in self._consumed or pos in self._pending:
             return
         planes = np.asarray(self._schedule[pos], dtype=np.intp)
-        self._pending[pos] = get_subsystem_executor("io").submit(
-            self._source.load_planes, planes
-        )
+
+        def load_traced() -> np.ndarray:
+            # runs on the io pool: the span lands on the worker thread,
+            # showing the read overlapping the gather in the trace
+            with trace_span("tile.prefetch", planes=int(planes.size)):
+                return self._source.load_planes(planes)
+
+        self._pending[pos] = get_subsystem_executor("io").submit(load_traced)
         with self._stats_lock:
             self.prefetch_issued += 1
             if ahead:
@@ -550,12 +556,14 @@ class PrefetchingFieldSource(_DelegatingSource):
                 # pos+1's read now, before this request even returns
                 self._issue(pos + 1, ahead=True)
         if future is not None:
-            tile = future.result()
+            with trace_span("tile.load", planes=len(key), prefetch="hit"):
+                tile = future.result()
             with self._stats_lock:
                 self.prefetch_hits += 1
             field_source_log().record_prefetch(hits=1)
             return tile
-        tile = self._source.load_planes(np.asarray(key, dtype=np.intp))
+        with trace_span("tile.load", planes=len(key), prefetch="miss"):
+            tile = self._source.load_planes(np.asarray(key, dtype=np.intp))
         with self._stats_lock:
             self.prefetch_misses += 1
         field_source_log().record_prefetch(misses=1)

@@ -18,6 +18,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.observability.trace import (
+    disable_tracing,
+    enable_tracing,
+    get_trace_recorder,
+    tracing_enabled,
+)
 from repro.runtime.layout import layout_decision_log, set_auto_fraction
 from repro.runtime.plan_pool import get_plan_pool, reset_plan_pool
 from repro.runtime.workers import set_default_workers
@@ -47,8 +53,10 @@ def _fresh_plan_pool():
     CI leg sets via ``REPRO_PLAN_POOL_BYTES``) is left untouched.  The
     process-wide layout override (the CLI's ``--plan-layout`` path) and the
     auto-layout decision log are reset for the same reason: both are shared
-    state a test may set.
+    state a test may set.  The tracing flag and span recorder are restored
+    too, so a test that enables tracing never leaks spans into the next.
     """
+    trace_was_enabled = tracing_enabled()
     reset_plan_pool()
     set_default_plan_layout(None)
     set_auto_fraction(None)
@@ -64,6 +72,11 @@ def _fresh_plan_pool():
     set_default_field_source(None)
     layout_decision_log().reset()
     field_source_log().reset()
+    if trace_was_enabled:
+        enable_tracing()
+    else:
+        disable_tracing()
+    get_trace_recorder().clear()
 
 
 @pytest.fixture()

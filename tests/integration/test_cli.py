@@ -363,6 +363,177 @@ class TestServeCommand:
         assert "Atlas registration summary" in capsys.readouterr().out
 
 
+def _extract_result_document(out: str) -> dict:
+    """Parse the verbose report's embedded JSON result document.
+
+    The document is printed with ``indent=2``, so it is the block between
+    the first column-0 ``{`` line and the next column-0 ``}`` line.
+    """
+    import json
+
+    start = out.index("\n{\n") + 1
+    end = out.index("\n}\n", start) + 2
+    return json.loads(out[start:end])
+
+
+class TestObservabilityCLI:
+    """The ``--trace``/``--trace-out`` flags and the verbose report."""
+
+    def _register_args(self, *extra):
+        return [
+            "register",
+            "--synthetic", "12",
+            "--max-newton", "2",
+            "--max-krylov", "4",
+            *extra,
+        ]
+
+    def test_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            self._register_args("--trace", "--trace-out", "run.json")
+        )
+        assert args.trace is True
+        assert args.trace_out == "run.json"
+        defaults = build_parser().parse_args(self._register_args())
+        assert defaults.trace is None
+        assert defaults.trace_out is None
+
+    def test_trace_out_writes_a_loadable_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import get_trace_recorder, validate_chrome_trace
+
+        get_trace_recorder().clear()
+        trace_path = tmp_path / "run.trace.json"
+        code = main(self._register_args("--trace-out", str(trace_path)))
+        assert code == 0
+        assert f"trace written to {trace_path}" in capsys.readouterr().out
+        document = json.loads(trace_path.read_text())
+        validate_chrome_trace(document)
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "registration.solve" in names
+        assert "fft.forward" in names
+        assert "newton.iteration" in names
+
+    def test_trace_env_var_enables_tracing(self, tmp_path):
+        # REPRO_TRACE is read at interpreter startup, so exercise the real
+        # CLI path: a fresh process with the variable exported.
+        import json
+        import os
+        import subprocess
+        import sys
+
+        from repro.observability import TRACE_ENV_VAR, TRACE_OUT_ENV_VAR, validate_chrome_trace
+
+        trace_path = tmp_path / "env.trace.json"
+        env = dict(os.environ)
+        env[TRACE_ENV_VAR] = "1"
+        env[TRACE_OUT_ENV_VAR] = str(trace_path)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [
+                sys.executable, "-c",
+                "import sys; from repro.cli import main; "
+                "sys.exit(main(sys.argv[1:]))",
+                *self._register_args(),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+
+    def test_malformed_trace_env_is_a_clean_error(self, capsys, monkeypatch):
+        from repro.observability import TRACE_ENV_VAR
+
+        monkeypatch.setenv(TRACE_ENV_VAR, "maybe")
+        assert main(self._register_args()) == 2
+        assert TRACE_ENV_VAR in capsys.readouterr().err
+
+    def test_malformed_io_workers_env_is_a_clean_error(self, capsys, monkeypatch):
+        from repro.runtime.workers import IO_WORKERS_ENV_VAR
+
+        monkeypatch.setenv(IO_WORKERS_ENV_VAR, "fast")
+        assert main(self._register_args()) == 2
+        assert IO_WORKERS_ENV_VAR in capsys.readouterr().err
+
+    def test_malformed_service_workers_env_is_a_clean_error(self, capsys, monkeypatch):
+        from repro.runtime.workers import SERVICE_WORKERS_ENV_VAR
+
+        monkeypatch.setenv(SERVICE_WORKERS_ENV_VAR, "3.5")
+        assert main(self._register_args()) == 2
+        assert SERVICE_WORKERS_ENV_VAR in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_worker_envs_too(self, capsys, monkeypatch):
+        from repro.runtime.workers import IO_WORKERS_ENV_VAR
+
+        monkeypatch.setenv(IO_WORKERS_ENV_VAR, "many")
+        code = main(["serve", "--synthetic", "8", "--subjects", "1"])
+        assert code == 2
+        assert IO_WORKERS_ENV_VAR in capsys.readouterr().err
+
+    def test_verbose_report_agrees_with_result_document(self, capsys):
+        from repro.observability import get_trace_recorder
+
+        recorder = get_trace_recorder()
+        recorder.clear()
+        code = main(["--verbose", *self._register_args("--trace")])
+        assert code == 0
+        out = capsys.readouterr().out
+        doc = _extract_result_document(out)
+        assert doc["schema"] == "repro.registration-result"
+        assert doc["schema_version"] == 2
+
+        # embedded observability snapshot: enabled trace, valid document
+        from repro.observability import validate_snapshot
+
+        snap = doc["observability"]
+        validate_snapshot(snap)
+        assert snap["trace"]["enabled"] is True
+
+        # plan-pool line: process-wide stats, i.e. the snapshot's view
+        # (the doc's top-level plan_pool block is the solve-only delta and
+        # excludes the post-solve det-grad plans)
+        pool = snap["plan_pool"]
+        assert f"plan pool: {pool['hits']} hits, {pool['misses']} misses" in out
+        delta = doc["plan_pool"]
+        assert delta["misses"] >= 1
+        assert delta["misses"] <= pool["misses"]
+
+        # field-source traffic line vs the document
+        sources = doc["field_sources"]
+        assert f"field sources: {sources['loads']} tile loads" in out
+
+        # phase-timing table: one row per span name, spans/count columns
+        # agreeing with the recorder (= the document's span_counts)
+        assert "phase timings (traced spans):" in out
+        table = out.split("phase timings (traced spans):\n", 1)[1]
+        rows = {}
+        for line in table.splitlines()[1:]:
+            parts = line.split()
+            if len(parts) != 5 or not parts[1].isdigit():
+                break
+            rows[parts[0]] = (int(parts[1]), int(parts[2]))
+        span_counts = snap["trace"]["span_counts"]
+        assert set(rows) == set(span_counts)
+        for name, (num_spans, total_count) in rows.items():
+            assert total_count == span_counts[name]
+            assert 1 <= num_spans <= total_count
+
+    def test_verbose_layout_decisions_agree_with_log(self, capsys):
+        from repro.runtime import layout_decision_log
+
+        code = main(
+            ["--verbose", *self._register_args("--plan-layout", "auto")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        decisions = layout_decision_log()
+        if decisions.total:
+            assert f"auto plan layout: {decisions.total} decisions" in out
+
+
 class TestFieldSourceMode:
     """The ``--field-source`` flag and the out-of-core register/serve paths."""
 

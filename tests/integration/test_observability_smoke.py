@@ -1,0 +1,97 @@
+"""End-to-end observability smoke: trace a tiny registration, check the books.
+
+Backs the ``observability-smoke`` CI job.  One small traced solve through
+the real CLI produces every observability artifact the PR promises:
+
+* a Chrome trace-event file that validates and is Perfetto-loadable;
+* a versioned ``repro.observability-snapshot`` document;
+* span totals that agree exactly with the independent work counters
+  (FFT transforms, interpolation sweeps, Hessian matvecs).
+
+Artifacts land in ``$REPRO_SMOKE_ARTIFACTS`` when set (the CI job sets it
+and uploads the directory) and in pytest's tmp dir otherwise.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.observability import (
+    get_trace_recorder,
+    snapshot,
+    validate_chrome_trace,
+    validate_snapshot,
+)
+from repro.observability.metrics import get_metrics_registry
+
+RESOLUTION = 12
+ARTIFACTS_ENV_VAR = "REPRO_SMOKE_ARTIFACTS"
+
+
+@pytest.fixture()
+def artifacts_dir(tmp_path) -> Path:
+    override = os.environ.get(ARTIFACTS_ENV_VAR, "").strip()
+    directory = Path(override) if override else tmp_path
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def _metric_total(name: str) -> float:
+    series = get_metrics_registry().collect().get(name, {})
+    return sum(series.values())
+
+
+def test_traced_registration_smoke(artifacts_dir, capsys):
+    recorder = get_trace_recorder()
+    recorder.clear()
+    trace_path = artifacts_dir / "smoke.trace.json"
+
+    fft_before = _metric_total("fft.transforms")
+    sweeps_before = _metric_total("interp.sweeps")
+
+    code = main([
+        "register",
+        "--synthetic", str(RESOLUTION),
+        "--max-newton", "2",
+        "--max-krylov", "4",
+        "--trace",
+        "--trace-out", str(trace_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"trace written to {trace_path}" in out
+
+    # ---- the Chrome trace validates and covers the hot seams ---------- #
+    document = json.loads(trace_path.read_text())
+    validate_chrome_trace(document)
+    events = document["traceEvents"]
+    assert events, "traced solve produced no events"
+    names = {event["name"] for event in events}
+    for expected in (
+        "registration.solve",
+        "newton.iteration",
+        "pcg.matvec",
+        "fft.forward",
+        "interp.gather",
+        "transport.state",
+    ):
+        assert expected in names, f"missing span {expected!r}"
+
+    # ---- span totals agree with the independent work counters --------- #
+    counts = recorder.span_counts()
+    fft_spans = counts.get("fft.forward", 0) + counts.get("fft.backward", 0)
+    assert fft_spans == _metric_total("fft.transforms") - fft_before
+    assert counts.get("interp.gather", 0) == _metric_total("interp.sweeps") - sweeps_before
+    assert counts.get("registration.solve") == 1
+
+    # ---- the snapshot document validates and round-trips -------------- #
+    snapshot_path = artifacts_dir / "smoke.snapshot.json"
+    document = snapshot()
+    validate_snapshot(document)
+    assert document["trace"]["enabled"] is True
+    assert document["trace"]["spans"] == len(recorder)
+    snapshot_path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    validate_snapshot(json.loads(snapshot_path.read_text()))
