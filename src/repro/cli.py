@@ -20,7 +20,12 @@ Python:
     Run an atlas (population) workload through the registration service:
     every subject image is queued as a job, a worker pool executes the
     solves sharing the process-wide plan pool, and per-job JSON artifacts
-    can be journaled with ``--artifacts-dir``.
+    can be journaled with ``--artifacts-dir``.  With ``--http PORT`` (or
+    ``$REPRO_HTTP_PORT``) the command instead runs a long-lived service
+    exposing the stdlib HTTP front (``POST /jobs``, ``GET /jobs/<id>``,
+    ``DELETE /jobs/<id>``, ``GET /stats``); with ``--journal DIR`` (or
+    ``$REPRO_SERVICE_JOURNAL``) every submission is crash-safe — a killed
+    service re-queues its unfinished jobs on restart.
 
 Execution knobs (``--fft-backend``, ``--plan-layout``, ``--workers``, ...)
 are shared by ``register`` and ``serve``; internally they are layered onto
@@ -49,7 +54,7 @@ import numpy as np
 
 from repro.analysis.experiments import reproduce_scaling_table
 from repro.analysis.reporting import format_breakdown_table, format_rows
-from repro.config import RegistrationConfig
+from repro.config import RegistrationConfig, env_http_port
 from repro.core.optim.gauss_newton import SolverOptions
 from repro.core.registration import RegistrationSolver
 from repro.data.brain import brain_registration_pair
@@ -252,15 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="print per-iteration progress",
     )
-    serve_source = serve.add_mutually_exclusive_group(required=True)
+    # not required: --http mode serves submissions instead of a population
+    serve_source = serve.add_mutually_exclusive_group(required=False)
     serve_source.add_argument(
         "--input",
         type=str,
+        default=None,
         help=".npz file with 'reference' (N1,N2,N3) and 'subjects' (K,N1,N2,N3)",
     )
     serve_source.add_argument(
         "--synthetic",
         type=int,
+        default=None,
         metavar="N",
         help="use a synthetic population at N^3 (see --subjects)",
     )
@@ -299,6 +307,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="journal every finished job to DIR/job-<id>.json",
+    )
+    serve.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable job journal directory (default: $REPRO_SERVICE_JOURNAL); "
+            "submissions are fsync'd before they are acknowledged and a "
+            "restarted service re-queues unfinished jobs"
+        ),
+    )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve submissions over HTTP on PORT instead of running an atlas "
+            "workload (default: $REPRO_HTTP_PORT; 0 binds any free port)"
+        ),
+    )
+    serve.add_argument(
+        "--http-host",
+        type=str,
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address of the HTTP front (default: 127.0.0.1)",
     )
     _add_config_flags(serve)
 
@@ -460,6 +496,36 @@ def _load_population(args: argparse.Namespace):
     return population.atlas, population.subjects
 
 
+def _run_http_service(
+    args: argparse.Namespace, config: RegistrationConfig, port: int
+) -> int:
+    """Long-lived server mode: submissions arrive over HTTP, not argv."""
+    import threading
+
+    from repro.service import RegistrationService
+    from repro.service.http import serve_http
+
+    with RegistrationService(
+        config=config,
+        num_workers=args.num_workers,
+        max_batch=args.max_batch,
+        artifacts_dir=args.artifacts_dir,
+        journal_dir=args.journal,
+    ) as service:
+        if service.recovered_jobs:
+            print(f"journal: re-queued {len(service.recovered_jobs)} unfinished job(s)")
+        server = serve_http(service, port, host=args.http_host)
+        print(f"service listening on http://{args.http_host}:{server.port}", flush=True)
+        try:
+            # serve_forever runs on the daemon thread; park this one
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            server.shutdown()
+    return 0
+
+
 def _run_serve(
     args: argparse.Namespace, base_config: Optional[RegistrationConfig] = None
 ) -> int:
@@ -468,7 +534,16 @@ def _run_serve(
     from repro.service import RegistrationService, run_atlas
 
     try:
+        http_port = args.http if args.http is not None else env_http_port()
+        if http_port is not None and not 0 <= http_port <= 65535:
+            raise ValueError(f"--http port must lie in [0, 65535], got {http_port}")
         config = _config_from_args(args, base_config).apply()
+        if http_port is not None:
+            if args.input is not None or args.synthetic is not None:
+                raise ValueError("--http serves submissions; drop --input/--synthetic")
+            return _run_http_service(args, config, http_port)
+        if args.input is None and args.synthetic is None:
+            raise ValueError("one of --input, --synthetic or --http is required")
         reference, subjects = _load_population(args)
     except (BackendUnavailableError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -484,6 +559,7 @@ def _run_serve(
         num_workers=args.num_workers,
         max_batch=args.max_batch,
         artifacts_dir=args.artifacts_dir,
+        journal_dir=args.journal,
     ) as service:
         atlas = run_atlas(
             reference,

@@ -33,6 +33,7 @@ warns once per process.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -50,7 +51,80 @@ from repro.spectral import backends as fft_backends
 from repro.transport import kernels as interp_kernels
 from repro.transport import sources as field_sources
 
-__all__ = ["RegistrationConfig"]
+__all__ = [
+    "HTTP_PORT_ENV_VAR",
+    "RegistrationConfig",
+    "SERVICE_CLASS_WEIGHTS_ENV_VAR",
+    "SERVICE_JOURNAL_ENV_VAR",
+    "env_http_port",
+    "env_service_class_weights",
+    "env_service_journal",
+]
+
+#: Directory of the durable job journal; set = every service submission is
+#: journaled and unfinished jobs re-queue on the next service start.
+SERVICE_JOURNAL_ENV_VAR = "REPRO_SERVICE_JOURNAL"
+
+#: Default port of the ``repro-serve --http`` front (flag overrides env).
+HTTP_PORT_ENV_VAR = "REPRO_HTTP_PORT"
+
+#: Claim-weight overrides of the queue's weighted fair scheduling, e.g.
+#: ``interactive=4,atlas-burst=1``.
+SERVICE_CLASS_WEIGHTS_ENV_VAR = "REPRO_SERVICE_CLASS_WEIGHTS"
+
+
+def env_service_journal() -> Optional[str]:
+    """``$REPRO_SERVICE_JOURNAL`` (journal directory), or ``None``."""
+    value = os.environ.get(SERVICE_JOURNAL_ENV_VAR, "").strip()
+    return value or None
+
+
+def env_http_port() -> Optional[int]:
+    """``$REPRO_HTTP_PORT`` as a validated port number, or ``None``."""
+    value = os.environ.get(HTTP_PORT_ENV_VAR, "").strip()
+    if not value:
+        return None
+    try:
+        port = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{HTTP_PORT_ENV_VAR} must be an integer port, got {value!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"{HTTP_PORT_ENV_VAR} must lie in [0, 65535], got {port}")
+    return port
+
+
+def env_service_class_weights() -> Dict[str, float]:
+    """``$REPRO_SERVICE_CLASS_WEIGHTS`` parsed into ``{class: weight}``.
+
+    Format: comma-separated ``class=weight`` entries, e.g.
+    ``interactive=4,atlas-burst=1``.  Malformed entries raise with the
+    variable name and the expected format (the clean-error path shared by
+    every ``REPRO_*`` knob).
+    """
+    value = os.environ.get(SERVICE_CLASS_WEIGHTS_ENV_VAR, "").strip()
+    if not value:
+        return {}
+    weights: Dict[str, float] = {}
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, sep, raw = entry.partition("=")
+        name = name.strip()
+        try:
+            weight = float(raw.strip()) if sep else float("nan")
+        except ValueError:
+            weight = float("nan")
+        if not sep or not name or not weight > 0:
+            raise ValueError(
+                f"{SERVICE_CLASS_WEIGHTS_ENV_VAR} entries must look like "
+                f"'class=positive_weight' (e.g. 'interactive=4,atlas-burst=1'), "
+                f"got {entry!r}"
+            )
+        weights[name] = weight
+    return weights
 
 
 @dataclass(frozen=True)
@@ -177,6 +251,8 @@ class RegistrationConfig:
         env_pool_budget()  # ... and $REPRO_PLAN_POOL_BYTES
         field_sources.default_field_source()  # ... and $REPRO_FIELD_SOURCE
         env_trace_enabled()  # ... and $REPRO_TRACE
+        env_http_port()  # ... and $REPRO_HTTP_PORT
+        env_service_class_weights()  # ... and $REPRO_SERVICE_CLASS_WEIGHTS
         for subsystem in ("fft", "interp", "service", "io"):  # ... and the worker vars
             resolve_workers(subsystem)
         return self

@@ -30,6 +30,7 @@ from repro.core.optim.pcg import pcg
 from repro.core.preconditioner import SpectralPreconditioner
 from repro.core.problem import OuterIterate, RegistrationProblem
 from repro.observability.trace import trace_span
+from repro.runtime.cancellation import check_cancelled
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("core.optim.gauss_newton")
@@ -68,6 +69,12 @@ class SolverOptions:
         exceeded.
     verbose:
         Emit one log line per Newton iteration.
+    cancel_token:
+        Optional cooperative cancellation token
+        (:class:`repro.runtime.cancellation.CancelToken`).  Polled between
+        outer iterations; when set, the solver raises
+        :class:`~repro.runtime.cancellation.SolveCancelled` instead of
+        starting the next Newton step.  Never serialized with the options.
     """
 
     gradient_tolerance: float = 1e-2
@@ -81,6 +88,7 @@ class SolverOptions:
     line_search: ArmijoLineSearch = field(default_factory=ArmijoLineSearch)
     max_wall_clock_seconds: Optional[float] = None
     verbose: bool = False
+    cancel_token: Optional[object] = None
 
     def forcing_term(self, gradient_norm: float, initial_gradient_norm: float) -> float:
         """Relative PCG tolerance for the current Newton iteration."""
@@ -189,6 +197,9 @@ class GaussNewtonKrylov:
             return problem.evaluate_objective(trial_velocity).total
 
         for iteration in range(options.max_newton_iterations):
+            # cooperative cancellation: the safe point between Newton
+            # iterations — the current iterate is fully consistent here
+            check_cancelled(options.cancel_token, "registration solve")
             rel_gnorm = iterate.gradient_norm / initial_gradient_norm
             if options.verbose:
                 LOGGER.info(

@@ -25,6 +25,7 @@ from repro.core.optim.gauss_newton import (
 )
 from repro.core.preconditioner import SpectralPreconditioner
 from repro.core.problem import RegistrationProblem
+from repro.runtime.cancellation import check_cancelled
 from repro.utils.logging import get_logger
 
 LOGGER = get_logger("core.optim.gradient_descent")
@@ -67,6 +68,8 @@ class GradientDescent:
             return problem.evaluate_objective(trial_velocity).total
 
         for iteration in range(options.max_newton_iterations):
+            # same safe point as the Newton driver: between outer iterations
+            check_cancelled(options.cancel_token, "registration solve")
             rel_gnorm = iterate.gradient_norm / initial_gradient_norm
             if options.verbose:
                 LOGGER.info(

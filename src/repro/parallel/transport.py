@@ -41,6 +41,7 @@ import numpy as np
 from repro.parallel.comm import SimulatedCommunicator
 from repro.parallel.pencil import PencilDecomposition
 from repro.parallel.scatter import ScatterInterpolationPlan
+from repro.runtime.cancellation import check_cancelled
 from repro.spectral.grid import Grid
 from repro.utils.validation import check_positive_int, check_velocity_shape
 
@@ -190,12 +191,18 @@ class DistributedTransportSolver:
     def dt(self) -> float:
         return 1.0 / self.num_time_steps
 
-    def solve_state(self, velocity: np.ndarray, template: np.ndarray) -> np.ndarray:
+    def solve_state(
+        self,
+        velocity: np.ndarray,
+        template: np.ndarray,
+        cancel_token: Optional[object] = None,
+    ) -> np.ndarray:
         """Transport *template* with *velocity* over ``t in [0, 1]``.
 
         Both arguments are global arrays; the computation runs on per-rank
         blocks and the gathered final state is returned (global, for easy
-        comparison against the serial solver).
+        comparison against the serial solver).  *cancel_token* (see
+        :mod:`repro.runtime.cancellation`) is polled between time steps.
         """
         template = np.asarray(template, dtype=self.grid.dtype)
         if template.shape != self.grid.shape:
@@ -207,10 +214,16 @@ class DistributedTransportSolver:
         )
         blocks = self.decomposition.scatter(template)
         for _ in range(self.num_time_steps):
+            check_cancelled(cancel_token, "transport solve")
             blocks = stepper.step(blocks)
         return self.decomposition.gather(blocks)
 
-    def solve_state_many(self, velocity: np.ndarray, templates: np.ndarray) -> np.ndarray:
+    def solve_state_many(
+        self,
+        velocity: np.ndarray,
+        templates: np.ndarray,
+        cancel_token: Optional[object] = None,
+    ) -> np.ndarray:
         """Transport a ``(B, N1, N2, N3)`` stack of templates together.
 
         All ``B`` state equations share one stepper (one plan setup) and —
@@ -235,6 +248,7 @@ class DistributedTransportSolver:
             for rank in range(deco.num_tasks)
         ]
         for _ in range(self.num_time_steps):
+            check_cancelled(cancel_token, "transport solve")
             stacks = stepper.step_many(stacks)
         return np.stack(
             [

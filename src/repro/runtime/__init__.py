@@ -31,6 +31,12 @@ should acquire their plans and workers here so they inherit the same
 lifecycle (budgeting, eviction, statistics) without re-implementing it.
 """
 
+from repro.runtime.cancellation import (
+    CancelToken,
+    CombinedCancelToken,
+    SolveCancelled,
+    check_cancelled,
+)
 from repro.runtime.layout import (
     AUTO_FRACTION_ENV_VAR,
     DEFAULT_AUTO_FRACTION,
@@ -67,6 +73,10 @@ from repro.runtime.workers import (
 )
 
 __all__ = [
+    "CancelToken",
+    "CombinedCancelToken",
+    "SolveCancelled",
+    "check_cancelled",
     "AUTO_FRACTION_ENV_VAR",
     "DEFAULT_AUTO_FRACTION",
     "LayoutDecision",

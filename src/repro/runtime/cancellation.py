@@ -1,0 +1,97 @@
+"""Cooperative cancellation tokens for long-running solves.
+
+A solve that takes minutes cannot be aborted safely at an arbitrary
+instruction — half-updated velocity fields and torn plan-pool entries are
+worse than a finished solve nobody wants.  Instead the solvers poll a
+:class:`CancelToken` at their *safe points*: the Gauss-Newton and
+gradient-descent drivers check between outer iterations, and the
+distributed transport solver checks between semi-Lagrangian time steps.
+When the token is set, the solver raises :class:`SolveCancelled` from the
+safe point; the caller (the job service) turns that into a ``CANCELLED``
+job record rather than a failure.
+
+Tokens are plain ``threading.Event`` wrappers: setting one is lock-free
+from the canceller's perspective and polling one is a single attribute
+read, so the per-iteration cost is negligible next to a Newton step.
+
+:class:`CombinedCancelToken` models the micro-batcher's semantics: a
+merged transport batch runs ``B`` jobs through one solve, so the *solve*
+may only be abandoned once **every** rider asked for cancellation —
+cancelling one peer must not kill the others' work.  Individual riders
+that cancelled are marked ``CANCELLED`` by the service after the shared
+solve finishes.
+
+Stdlib-only and dependency-free so every layer (core optimizers, parallel
+transport, the service) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+__all__ = ["CancelToken", "CombinedCancelToken", "SolveCancelled", "check_cancelled"]
+
+
+class SolveCancelled(Exception):
+    """Raised from a solver's safe point after its cancel token was set.
+
+    Deliberately *not* a ``RuntimeError``: broad ``except Exception``
+    failure-isolation in the service handles it before the generic
+    worker-error path, and callers that did not pass a token can never
+    see it.
+    """
+
+
+class CancelToken:
+    """One-way cancellation flag polled by solvers at safe points."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, thread-safe)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` was called."""
+        return self._event.is_set()
+
+    def raise_if_cancelled(self, what: str = "solve") -> None:
+        """Raise :class:`SolveCancelled` when the token is set."""
+        if self._event.is_set():
+            raise SolveCancelled(f"{what} cancelled cooperatively")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CancelToken(cancelled={self.cancelled})"
+
+
+class CombinedCancelToken:
+    """Cancelled only when *every* member token is cancelled.
+
+    The micro-batched solve's token: one rider bailing out must not
+    abandon its peers' work, but once all riders cancelled there is
+    nobody left to pay for the remaining time steps.
+    """
+
+    __slots__ = ("_tokens",)
+
+    def __init__(self, tokens: Sequence[CancelToken]) -> None:
+        self._tokens = [token for token in tokens if token is not None]
+
+    @property
+    def cancelled(self) -> bool:
+        return bool(self._tokens) and all(token.cancelled for token in self._tokens)
+
+    def raise_if_cancelled(self, what: str = "solve") -> None:
+        if self.cancelled:
+            raise SolveCancelled(f"{what} cancelled cooperatively")
+
+
+def check_cancelled(token: Optional[object], what: str = "solve") -> None:
+    """Poll *token* (any object with ``raise_if_cancelled``); ``None`` is a no-op."""
+    if token is not None:
+        token.raise_if_cancelled(what)

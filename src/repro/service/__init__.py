@@ -22,6 +22,12 @@ service without forking the numerics:
 :mod:`repro.service.artifacts`
     Versioned per-job JSON artifacts (result report, pool/layout/ledger
     metrics).
+:mod:`repro.service.journal`
+    Durable, crash-safe job journal (versioned jobspec documents,
+    append-only fsync'd segments, replay + compaction on restart).
+:mod:`repro.service.http`
+    Stdlib HTTP front (``POST /jobs``, ``GET /jobs/<id>``,
+    ``DELETE /jobs/<id>``, ``GET /stats``).
 :mod:`repro.service.atlas`
     Atlas/population registration driver, the first batch workload.
 
@@ -50,7 +56,10 @@ from repro.service.artifacts import (
 )
 from repro.service.atlas import AtlasResult, run_atlas, submit_atlas
 from repro.service.batching import batch_key, group_compatible, stack_compatible
+from repro.service.http import ServiceHTTPServer, serve_http
 from repro.service.jobs import (
+    JOB_CLASS_ATLAS,
+    JOB_CLASS_INTERACTIVE,
     Job,
     JobCancelledError,
     JobFailedError,
@@ -59,6 +68,16 @@ from repro.service.jobs import (
     RegistrationJobSpec,
     TransportJobSpec,
 )
+from repro.service.journal import (
+    JOURNAL_SCHEMA,
+    JOURNAL_SCHEMA_VERSION,
+    SPEC_SCHEMA,
+    SPEC_SCHEMA_VERSION,
+    JobJournal,
+    MalformedSpecError,
+    spec_from_dict,
+    spec_to_dict,
+)
 from repro.service.queue import SubmissionQueue
 from repro.service.workers import RegistrationService
 
@@ -66,13 +85,22 @@ __all__ = [
     "ARTIFACT_SCHEMA",
     "ARTIFACT_SCHEMA_VERSION",
     "AtlasResult",
+    "JOB_CLASS_ATLAS",
+    "JOB_CLASS_INTERACTIVE",
+    "JOURNAL_SCHEMA",
+    "JOURNAL_SCHEMA_VERSION",
     "Job",
     "JobCancelledError",
     "JobFailedError",
+    "JobJournal",
     "JobRecord",
     "JobStatus",
+    "MalformedSpecError",
     "RegistrationJobSpec",
     "RegistrationService",
+    "SPEC_SCHEMA",
+    "SPEC_SCHEMA_VERSION",
+    "ServiceHTTPServer",
     "SubmissionQueue",
     "TransportJobSpec",
     "batch_key",
@@ -81,7 +109,10 @@ __all__ = [
     "group_compatible",
     "job_artifact",
     "run_atlas",
+    "serve_http",
     "shutdown_default_service",
+    "spec_from_dict",
+    "spec_to_dict",
     "stack_compatible",
     "submit",
     "submit_atlas",

@@ -59,11 +59,21 @@ def job_artifact(job: Job) -> Dict[str, Any]:
 
 
 def write_job_artifact(directory: Union[str, Path], job: Job) -> Path:
-    """Write *job*'s artifact atomically; returns the written path."""
+    """Write *job*'s artifact atomically; returns the written path.
+
+    The temp file is unlinked on *any* failure (serialization included),
+    so an artifact that cannot be written never leaks ``job-<id>.json.tmp``
+    litter into the directory.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = artifact_path(directory, job)
     tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(job_artifact(job), indent=2, sort_keys=True))
-    os.replace(tmp, path)
+    try:
+        tmp.write_text(json.dumps(job_artifact(job), indent=2, sort_keys=True))
+        os.replace(tmp, path)
+    finally:
+        # after a successful replace the tmp name no longer exists;
+        # on any failure this removes the partial file
+        tmp.unlink(missing_ok=True)
     return path

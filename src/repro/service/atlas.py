@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.service.jobs import Job, RegistrationJobSpec
+from repro.service.jobs import JOB_CLASS_ATLAS, Job, RegistrationJobSpec
 from repro.service.workers import RegistrationService
 
 __all__ = ["AtlasResult", "run_atlas", "submit_atlas"]
@@ -77,8 +77,11 @@ def submit_atlas(
     *register_kwargs* are forwarded into every
     :class:`~repro.service.jobs.RegistrationJobSpec` (``beta``,
     ``num_time_steps``, ``options``, ...), so the whole population runs
-    under one set of solver parameters.
+    under one set of solver parameters.  Atlas jobs submit under the
+    ``atlas-burst`` job class by default, so the queue's weighted claiming
+    keeps interactive registrations flowing through a population burst.
     """
+    register_kwargs.setdefault("job_class", JOB_CLASS_ATLAS)
     return [
         service.submit_registration(
             RegistrationJobSpec(template=moving, reference=reference, **register_kwargs)

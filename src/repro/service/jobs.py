@@ -14,12 +14,28 @@ the underlying :class:`JobRecord` as the job moves through its lifecycle::
 
     QUEUED -> RUNNING -> DONE
                       -> FAILED     (worker exception; traceback recorded)
+                      -> CANCELLED  (cancel(force=True): the cooperative
+                                     token stops the solve at its next
+                                     safe point)
     QUEUED -> CANCELLED             (cancel() before a worker claimed it)
 
 A worker exception never poisons the queue: the failure is recorded on the
 job (``status=failed`` + traceback text) and the worker moves on; waiting
 callers are released and see :class:`JobFailedError` when they ask for the
 result.
+
+Job identifiers are strings of the form ``"<seq>-<suffix>"``: a process-
+local monotonic sequence number (submission order stays readable) plus a
+random 8-hex-digit suffix, so two service processes — or one service
+restarted over the same artifact/journal directory — can never collide on
+``job-<id>.json`` and silently overwrite each other's artifacts.  Jobs
+recovered from the journal keep their original id, which keeps their
+artifact path stable across the restart.
+
+Every spec carries a ``job_class`` (:data:`JOB_CLASS_INTERACTIVE` by
+default; the atlas driver submits :data:`JOB_CLASS_ATLAS`): the queue's
+weighted claiming uses it so population bursts cannot starve interactive
+single registrations.
 """
 
 from __future__ import annotations
@@ -27,6 +43,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field as dataclass_field
 from enum import Enum
 from typing import Any, Dict, Optional
@@ -34,9 +51,12 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.core.optim.gauss_newton import SolverOptions
+from repro.runtime.cancellation import CancelToken
 from repro.spectral.grid import Grid
 
 __all__ = [
+    "JOB_CLASS_ATLAS",
+    "JOB_CLASS_INTERACTIVE",
     "Job",
     "JobCancelledError",
     "JobFailedError",
@@ -44,7 +64,41 @@ __all__ = [
     "JobStatus",
     "RegistrationJobSpec",
     "TransportJobSpec",
+    "json_safe",
+    "new_job_id",
 ]
+
+#: Default job class: latency-sensitive single submissions.
+JOB_CLASS_INTERACTIVE = "interactive"
+
+#: Job class of population (atlas) bursts: throughput-oriented, claimed
+#: with a lower weight so interactive jobs keep flowing.
+JOB_CLASS_ATLAS = "atlas-burst"
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively coerce *value* into JSON-serializable builtins.
+
+    Worker metrics legitimately carry numpy scalars (ledger byte counts,
+    pool statistics, residual norms); ``json.dumps`` rejects those, which
+    used to fail the artifact write *after* the tmp file was created.
+    Small numpy arrays become lists; unknown objects fall back to ``str``.
+    """
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 
 class JobStatus(str, Enum):
@@ -77,7 +131,11 @@ class JobFailedError(RuntimeError):
 
 
 class JobCancelledError(RuntimeError):
-    """Raised by :meth:`Job.result` for a job cancelled before it ran."""
+    """Raised by :meth:`Job.result` for a cancelled job.
+
+    Covers both flavours: cancelled while still queued (never ran) and
+    cancelled cooperatively while running (``cancel(force=True)``).
+    """
 
 
 @dataclass
@@ -103,6 +161,7 @@ class RegistrationJobSpec:
     interpolation: str = "cubic_bspline"
     options: Optional[SolverOptions] = None
     grid: Optional[Grid] = None
+    job_class: str = JOB_CLASS_INTERACTIVE
 
     kind = "register"
 
@@ -127,6 +186,7 @@ class TransportJobSpec:
     num_time_steps: int = 4
     num_tasks: int = 4
     grid: Optional[Grid] = None
+    job_class: str = JOB_CLASS_INTERACTIVE
 
     kind = "transport"
 
@@ -139,9 +199,10 @@ class TransportJobSpec:
 class JobRecord:
     """Mutable service-side state of one job (shared with the handle)."""
 
-    job_id: int
+    job_id: str
     kind: str
     status: JobStatus = JobStatus.QUEUED
+    job_class: str = JOB_CLASS_INTERACTIVE
     submitted_at: float = dataclass_field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -151,38 +212,68 @@ class JobRecord:
     metrics: Dict[str, Any] = dataclass_field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-ready view (the job section of the artifact schema)."""
+        """JSON-ready view (the job section of the artifact schema).
+
+        Metrics are coerced through :func:`json_safe`: numpy scalars from
+        the ledger/pool statistics must never poison the artifact write.
+        """
         return {
             "job_id": self.job_id,
             "kind": self.kind,
             "status": self.status.value,
+            "job_class": self.job_class,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "batch_size": self.batch_size,
             "error": self.error,
             "traceback": self.traceback,
-            "metrics": self.metrics,
+            "metrics": json_safe(self.metrics),
         }
 
 
-_job_ids = itertools.count(1)
+_job_seq = itertools.count(1)
+
+
+def new_job_id() -> str:
+    """A collision-free job id: ``"<seq>-<8 hex>"``.
+
+    The monotonic sequence number preserves human-readable submission
+    order within one process; the random suffix makes ids (and therefore
+    ``job-<id>.json`` artifact paths) unique across processes and across
+    restarts of the same artifact directory.
+    """
+    return f"{next(_job_seq)}-{uuid.uuid4().hex[:8]}"
 
 
 class Job:
-    """Caller-side handle of one submitted job."""
+    """Caller-side handle of one submitted job.
 
-    def __init__(self, spec, service) -> None:
+    *job_id* is normally minted by :func:`new_job_id`; the journal's
+    recovery path passes the original id through so a re-queued job keeps
+    its artifact path.
+    """
+
+    def __init__(self, spec, service, job_id: Optional[str] = None) -> None:
         self.spec = spec
-        self.record = JobRecord(job_id=next(_job_ids), kind=spec.kind)
+        self.record = JobRecord(
+            job_id=job_id if job_id is not None else new_job_id(),
+            kind=spec.kind,
+            job_class=getattr(spec, "job_class", JOB_CLASS_INTERACTIVE),
+        )
+        self.cancel_token = CancelToken()
         self._service = service
         self._done = threading.Event()
         self._result: Any = None
 
     # ------------------------------------------------------------------ #
     @property
-    def job_id(self) -> int:
+    def job_id(self) -> str:
         return self.record.job_id
+
+    @property
+    def job_class(self) -> str:
+        return self.record.job_class
 
     @property
     def status(self) -> JobStatus:
@@ -193,15 +284,22 @@ class Job:
         return self._done.is_set()
 
     # ------------------------------------------------------------------ #
-    def cancel(self) -> bool:
-        """Cancel the job if it is still queued.
+    def cancel(self, force: bool = False) -> bool:
+        """Cancel the job.
 
-        Returns ``True`` when the job was removed from the queue (it will
-        never run; waiting callers see :class:`JobCancelledError`), and
-        ``False`` when a worker already claimed it — running solves are not
-        interrupted.
+        A still-queued job is removed from the queue atomically (it will
+        never run; waiting callers see :class:`JobCancelledError`) and the
+        method returns ``True``.  Once a worker claimed the job, plain
+        ``cancel()`` returns ``False`` — running solves are not interrupted
+        — while ``cancel(force=True)`` additionally requests *cooperative*
+        cancellation: the job's token is set and the solver stops at its
+        next safe point (between Newton iterations / transport time
+        steps), recording ``CANCELLED``.  ``force=True`` returns ``True``
+        when the cancellation was delivered (the job will terminate
+        CANCELLED unless it finishes first) and ``False`` only for jobs
+        already in a terminal state.
         """
-        return self._service._cancel(self)
+        return self._service._cancel(self, force=force)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state (or *timeout*)."""

@@ -1,17 +1,35 @@
-"""Thread-safe submission queue with batch-aware claiming.
+"""Thread-safe submission queue: weighted class claiming + batch merging.
 
-The queue is a plain FIFO of :class:`~repro.service.jobs.Job` handles with
-one twist: workers claim *batches*, not jobs.  :meth:`SubmissionQueue.
-claim_batch` pops the oldest queued job and — when it is batchable — scans
-the remaining queue for jobs with the same :func:`~repro.service.batching.
-batch_key`, pulling up to ``max_batch`` of them out of order.  Compatible
-jobs therefore coalesce at *claim* time: whatever accumulated while the
-workers were busy merges into one shared solve, with no artificial waiting
-when the queue is short.
+The queue keeps one FIFO per *job class* (``interactive`` submissions vs.
+``atlas-burst`` population jobs — see :mod:`repro.service.jobs`) and
+claims across them with **stride scheduling**: every class has a virtual
+time that advances by ``1 / weight`` per claimed job, and
+:meth:`SubmissionQueue.claim_batch` always serves the non-empty class with
+the smallest virtual time.  With the default weights (``interactive: 4,
+atlas-burst: 1``) a thousand-subject atlas burst cannot starve a single
+interactive registration: the interactive job is claimed after at most a
+handful of burst jobs, while the burst still consumes every idle worker
+slot.  A class that was idle re-enters at the live virtual time, so saved
+credit never turns into a retaliatory burst.
 
-Cancellation races are resolved here: a job can be cancelled exactly while
-it is still in the deque.  Once :meth:`claim_batch` hands it to a worker it
-is ``RUNNING`` and :meth:`cancel` returns ``False``.
+Within the chosen class, claiming is FIFO with one twist: workers claim
+*batches*.  :meth:`claim_batch` pops the oldest queued job and — when it
+is batchable — scans the rest of its class for jobs with the same
+:func:`~repro.service.batching.batch_key`, pulling up to ``max_batch`` of
+them out of order.  Compatible jobs therefore coalesce at *claim* time
+with no artificial waiting when the queue is short.
+
+Cancellation races are resolved here: a job can be cancelled exactly
+while it is still in its deque, and the CANCELLED transition happens
+**inside** the queue lock — an observer holding the lock (``claim_batch``,
+``close``, a stats reader) can never see a job that is neither queued,
+RUNNING, nor terminal.  Once ``claim_batch`` hands a job to a worker it
+is RUNNING and :meth:`cancel` returns ``False`` (cooperative cancellation
+of running jobs lives above the queue, in the job's cancel token).
+
+Per-class queue depths are published to the process metrics registry as
+the ``service.queue_depth`` gauge (labelled by ``job_class``), so the
+observability snapshot and ``GET /stats`` expose starvation at a glance.
 """
 
 from __future__ import annotations
@@ -19,50 +37,132 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
+from repro.config import env_service_class_weights
+from repro.observability.metrics import get_metrics_registry
 from repro.service.batching import batch_key
 from repro.service.jobs import Job, JobStatus
 
-__all__ = ["SubmissionQueue"]
+__all__ = ["DEFAULT_CLASS_WEIGHTS", "SubmissionQueue"]
+
+#: Built-in claim weights; any class not listed here claims with weight 1.
+#: Interactive jobs get 4x the claim rate of atlas-burst jobs.
+DEFAULT_CLASS_WEIGHTS: Dict[str, float] = {
+    "interactive": 4.0,
+    "atlas-burst": 1.0,
+}
+
+_QUEUE_DEPTH_GAUGE = get_metrics_registry().gauge(
+    "service.queue_depth", "queued service jobs by job class"
+)
+_CLAIMED_COUNTER = get_metrics_registry().counter(
+    "service.jobs_claimed", "service jobs claimed by workers, by job class"
+)
 
 
 class SubmissionQueue:
-    """FIFO of queued jobs with compatible-batch claiming."""
+    """Per-class FIFOs with weighted fair claiming and batch merging.
 
-    def __init__(self) -> None:
-        self._jobs: Deque[Job] = deque()
+    Parameters
+    ----------
+    class_weights:
+        Claim weight per job class, layered over
+        :data:`DEFAULT_CLASS_WEIGHTS` (and the
+        ``REPRO_SERVICE_CLASS_WEIGHTS`` environment variable, which sits
+        between the two).  Higher weight = claimed more often under
+        contention; unknown classes default to weight 1.
+    """
+
+    def __init__(self, class_weights: Optional[Dict[str, float]] = None) -> None:
+        self._queues: Dict[str, Deque[Job]] = {}
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+        self._weights = dict(DEFAULT_CLASS_WEIGHTS)
+        self._weights.update(env_service_class_weights())
+        if class_weights:
+            for name, weight in class_weights.items():
+                weight = float(weight)
+                if weight <= 0:
+                    raise ValueError(
+                        f"class weight of {name!r} must be positive, got {weight}"
+                    )
+                self._weights[name] = weight
+        #: stride-scheduling virtual time per class (claims / weight)
+        self._virtual_time: Dict[str, float] = {}
+        #: monotonically increasing submission sequence (FIFO tie-breaks)
+        self._submit_seq = 0
+        self._seq: Dict[str, int] = {}  # job_id -> submission sequence
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         with self._lock:
-            return len(self._jobs)
+            return sum(len(q) for q in self._queues.values())
 
     @property
     def closed(self) -> bool:
         with self._lock:
             return self._closed
 
+    def depths(self) -> Dict[str, int]:
+        """Current queue depth per job class (snapshot)."""
+        with self._lock:
+            return {name: len(q) for name, q in self._queues.items()}
+
+    def class_weight(self, job_class: str) -> float:
+        """Effective claim weight of *job_class*."""
+        return self._weights.get(job_class, 1.0)
+
+    def _publish_depth(self, job_class: str) -> None:
+        # caller holds the lock
+        queue = self._queues.get(job_class)
+        _QUEUE_DEPTH_GAUGE.set(len(queue) if queue else 0, job_class=job_class)
+
     # ------------------------------------------------------------------ #
     def submit(self, job: Job) -> None:
-        """Append *job* and wake one waiting worker."""
+        """Append *job* to its class FIFO and wake one waiting worker."""
         with self._not_empty:
             if self._closed:
                 raise RuntimeError("queue is closed; no further submissions accepted")
-            self._jobs.append(job)
+            job_class = job.job_class
+            queue = self._queues.get(job_class)
+            if queue is None:
+                queue = self._queues[job_class] = deque()
+            if not queue:
+                # re-entering class: advance its virtual time to "now" so
+                # credit saved while idle cannot starve the active classes
+                live = [
+                    self._virtual_time.get(name, 0.0)
+                    for name, q in self._queues.items()
+                    if q and name != job_class
+                ]
+                if live:
+                    self._virtual_time[job_class] = max(
+                        self._virtual_time.get(job_class, 0.0), min(live)
+                    )
+            queue.append(job)
+            self._seq[job.job_id] = self._submit_seq
+            self._submit_seq += 1
+            self._publish_depth(job_class)
             self._not_empty.notify()
 
     def cancel(self, job: Job) -> bool:
-        """Remove *job* if still queued; ``False`` once a worker claimed it."""
+        """Remove *job* if still queued; ``False`` once a worker claimed it.
+
+        The CANCELLED transition happens inside the queue lock so no
+        observer can catch the job in limbo between "not queued" and
+        "terminal".
+        """
         with self._lock:
+            queue = self._queues.get(job.job_class)
             try:
-                self._jobs.remove(job)
-            except ValueError:
+                queue.remove(job)  # type: ignore[union-attr]
+            except (AttributeError, ValueError):
                 return False
-        job._cancelled()
+            self._seq.pop(job.job_id, None)
+            job._cancelled()
+            self._publish_depth(job.job_class)
         return True
 
     def close(self) -> None:
@@ -77,6 +177,25 @@ class SubmissionQueue:
             self._not_empty.notify_all()
 
     # ------------------------------------------------------------------ #
+    def _pick_class(self) -> Optional[str]:
+        """The non-empty class to serve next (stride scheduling).
+
+        Caller holds the lock.  Smallest virtual time wins; ties go to the
+        class whose head job was submitted first (global FIFO).
+        """
+        best: Optional[str] = None
+        best_key = None
+        for name, queue in self._queues.items():
+            if not queue:
+                continue
+            key = (
+                self._virtual_time.get(name, 0.0),
+                self._seq.get(queue[0].job_id, 0),
+            )
+            if best_key is None or key < best_key:
+                best, best_key = name, key
+        return best
+
     def claim_batch(self, max_batch: int = 1, timeout: Optional[float] = None) -> Optional[List[Job]]:
         """Claim the next job plus up to ``max_batch - 1`` compatible peers.
 
@@ -87,7 +206,10 @@ class SubmissionQueue:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
-            while not self._jobs:
+            while True:
+                job_class = self._pick_class()
+                if job_class is not None:
+                    break
                 if self._closed:
                     return None
                 remaining = None
@@ -96,21 +218,29 @@ class SubmissionQueue:
                     if remaining <= 0:
                         return None
                 self._not_empty.wait(remaining)
-            lead = self._jobs.popleft()
+            queue = self._queues[job_class]
+            lead = queue.popleft()
             batch = [lead]
             key = batch_key(lead.spec)
             if key is not None and max_batch > 1:
                 kept: List[Job] = []
-                for job in self._jobs:
+                for job in queue:
                     if len(batch) < max_batch and batch_key(job.spec) == key:
                         batch.append(job)
                     else:
                         kept.append(job)
                 if len(batch) > 1:
-                    self._jobs = deque(kept)
+                    self._queues[job_class] = deque(kept)
+            weight = self._weights.get(job_class, 1.0)
+            self._virtual_time[job_class] = (
+                self._virtual_time.get(job_class, 0.0) + len(batch) / weight
+            )
             now = time.time()
             for job in batch:
+                self._seq.pop(job.job_id, None)
                 job.record.status = JobStatus.RUNNING
                 job.record.started_at = now
                 job.record.batch_size = len(batch)
+            self._publish_depth(job_class)
+            _CLAIMED_COUNTER.inc(len(batch), job_class=job_class)
         return batch

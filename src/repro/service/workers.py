@@ -24,10 +24,22 @@ What the service adds over a loop of direct calls:
   rate, layout-decision counts, communication-ledger summary, timings) and
   can be journaled to a per-job JSON artifact
   (:mod:`repro.service.artifacts`).
+* **Durability.**  With a journal directory
+  (``journal_dir`` / ``REPRO_SERVICE_JOURNAL``), every submission is
+  fsync'd to an append-only journal before the submit call returns, and a
+  restarted service re-queues every journaled job that never reached a
+  terminal state — a kill -9 mid-solve loses no work
+  (:mod:`repro.service.journal`).
+* **Cooperative cancellation.**  ``Job.cancel(force=True)`` (or an HTTP
+  ``DELETE``) sets the job's cancel token; RUNNING solves stop at their
+  next safe point — between Newton iterations, between transport time
+  steps — and record ``CANCELLED``.  A micro-batched solve is only
+  abandoned once every rider cancelled; peers keep their results.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import traceback
 from pathlib import Path
@@ -35,13 +47,15 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.config import RegistrationConfig
+from repro.config import RegistrationConfig, env_service_journal
+from repro.core.optim.gauss_newton import SolverOptions
 from repro.core.registration import register
 from repro.observability import snapshot as observability_snapshot
 from repro.observability import trace_span
 from repro.parallel.comm import SimulatedCommunicator
 from repro.parallel.pencil import PencilDecomposition
 from repro.parallel.transport import DistributedTransportSolver
+from repro.runtime.cancellation import CombinedCancelToken, SolveCancelled
 from repro.runtime.layout import layout_decision_log
 from repro.runtime.plan_pool import get_plan_pool
 from repro.runtime.workers import resolve_workers
@@ -52,6 +66,7 @@ from repro.service.jobs import (
     RegistrationJobSpec,
     TransportJobSpec,
 )
+from repro.service.journal import JobJournal
 from repro.service.queue import SubmissionQueue
 from repro.utils.logging import get_logger
 
@@ -84,6 +99,17 @@ class RegistrationService:
     artifacts_dir:
         When set, every finished job (including failures) is journaled to
         ``<artifacts_dir>/job-<id>.json``.
+    journal_dir:
+        Directory of the durable job journal; defaults to
+        ``$REPRO_SERVICE_JOURNAL`` (unset = no journal, PR-6 in-memory
+        behavior).  On start, journaled jobs without a terminal record are
+        compacted and re-queued with their original ids.
+    journal_fsync:
+        ``False`` skips the per-commit fsync (crash-safe, not
+        power-loss-safe); the journal-overhead benchmark's knob.
+    class_weights:
+        Claim-weight overrides per job class (see
+        :class:`~repro.service.queue.SubmissionQueue`).
 
     The service is a context manager; leaving the ``with`` block drains the
     queue and joins the workers::
@@ -99,6 +125,9 @@ class RegistrationService:
         num_workers: Optional[int] = None,
         max_batch: int = 4,
         artifacts_dir: Optional[Union[str, Path]] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        journal_fsync: bool = True,
+        class_weights: Optional[Dict[str, float]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -112,12 +141,21 @@ class RegistrationService:
         resolve_workers("io")
         self.max_batch = int(max_batch)
         self.artifacts_dir = Path(artifacts_dir) if artifacts_dir is not None else None
-        self.queue = SubmissionQueue()
+        if journal_dir is None:
+            journal_dir = env_service_journal()
+        self.journal = (
+            JobJournal(journal_dir, fsync_on_commit=journal_fsync)
+            if journal_dir is not None
+            else None
+        )
+        self.queue = SubmissionQueue(class_weights=class_weights)
         self._jobs: List[Job] = []
+        self._jobs_by_id: Dict[str, Job] = {}
         self._stats_lock = threading.Lock()
         self._batches_executed = 0
         self._batched_jobs = 0
         self._shutdown = False
+        self.recovered_jobs: List[Job] = self._recover()
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -128,6 +166,29 @@ class RegistrationService:
         ]
         for thread in self._threads:
             thread.start()
+
+    def _recover(self) -> List[Job]:
+        """Re-queue journaled jobs that never finished (before workers start).
+
+        Compaction first: the surviving ``submitted`` records stay live in
+        the fresh segment, so a *second* crash before these jobs finish
+        still replays them — no re-journaling needed.
+        """
+        if self.journal is None:
+            return []
+        recovered: List[Job] = []
+        for entry in self.journal.compact():
+            try:
+                spec = entry.spec()
+            except ValueError:
+                LOGGER.exception(
+                    "journal: dropping unreadable spec of job %s", entry.job_id
+                )
+                continue
+            recovered.append(self._enqueue(spec, job_id=entry.job_id, journal=False))
+        if recovered:
+            LOGGER.info("journal: re-queued %d unfinished job(s)", len(recovered))
+        return recovered
 
     # ------------------------------------------------------------------ #
     # submission API
@@ -141,14 +202,37 @@ class RegistrationService:
         return self._submit(spec)
 
     def _submit(self, spec) -> Job:
-        job = Job(spec, self)
+        return self._enqueue(spec)
+
+    def _enqueue(self, spec, job_id: Optional[str] = None, journal: bool = True) -> Job:
+        job = Job(spec, self, job_id=job_id)
         with self._stats_lock:
             self._jobs.append(job)
+            self._jobs_by_id[job.job_id] = job
+        if journal and self.journal is not None:
+            # journal BEFORE queueing: once the caller holds the handle the
+            # submission is durable, even if the process dies immediately
+            self.journal.record_submitted(job)
         self.queue.submit(job)
         return job
 
-    def _cancel(self, job: Job) -> bool:
-        return self.queue.cancel(job)
+    def job(self, job_id: str) -> Optional[Job]:
+        """The job handle of *job_id* (``None`` when unknown) — HTTP lookup."""
+        with self._stats_lock:
+            return self._jobs_by_id.get(job_id)
+
+    def _cancel(self, job: Job, force: bool = False) -> bool:
+        if self.queue.cancel(job):
+            # queued -> CANCELLED happened inside the queue lock; persist it
+            self._finalize(job)
+            return True
+        if not force or job.done:
+            return False
+        # cooperative path: the RUNNING solve observes the token at its next
+        # safe point and the worker records CANCELLED; if the solve finishes
+        # first, DONE wins (the result exists — nothing worth discarding)
+        job.cancel_token.cancel()
+        return True
 
     def gather(
         self,
@@ -196,10 +280,12 @@ class RegistrationService:
                 jobs = list(self._jobs)
             for job in jobs:
                 if job.status is JobStatus.QUEUED:
-                    self.queue.cancel(job)
+                    self._cancel(job)
         self.queue.close()
         for thread in self._threads:
             thread.join()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "RegistrationService":
         return self
@@ -225,8 +311,11 @@ class RegistrationService:
             "max_batch": self.max_batch,
             "jobs_submitted": len(jobs),
             "jobs_by_status": by_status,
+            "jobs_recovered": len(self.recovered_jobs),
+            "queue_depths": self.queue.depths(),
             "batches_executed": batches,
             "batched_jobs": batched_jobs,
+            "journal": self.journal.stats() if self.journal is not None else None,
             "plan_pool": pool.as_dict(),
             "plan_pool_hit_rate": _hit_rate(pool.hits, pool.misses),
             "layout_decisions": layout_decision_log().counts(),
@@ -272,6 +361,12 @@ class RegistrationService:
         pool = get_plan_pool()
         pool_before = pool.stats
         decisions_before = layout_decision_log().total
+        # hand the job's cancel token to the Newton loop on a per-job copy:
+        # the caller's options object is never mutated
+        options = dataclasses.replace(
+            spec.options if spec.options is not None else SolverOptions(),
+            cancel_token=job.cancel_token,
+        )
         try:
             with trace_span("service.job", kind="registration", job_id=job.job_id):
                 result = register(
@@ -283,16 +378,20 @@ class RegistrationService:
                     num_time_steps=spec.num_time_steps,
                     gauss_newton=spec.gauss_newton,
                     optimizer=spec.optimizer,
-                    options=spec.options,
+                    options=options,
                     grid=spec.grid,
                     smooth_sigma=spec.smooth_sigma,
                     normalize=spec.normalize,
                     interpolation=spec.interpolation,
                     config=self.config,
                 )
+        except SolveCancelled:
+            job._cancelled()
+            self._finalize(job)
+            return
         except Exception as exc:  # noqa: BLE001 - job-level isolation
             job._fail(str(exc), traceback.format_exc())
-            self._journal(job)
+            self._finalize(job)
             return
         delta = pool.stats - pool_before
         job.record.metrics = {
@@ -302,7 +401,7 @@ class RegistrationService:
             "layout_decisions": layout_decision_log().total - decisions_before,
         }
         job._complete(result)
-        self._journal(job)
+        self._finalize(job)
 
     def _execute_transport_batch(self, batch: List[Job]) -> None:
         lead: TransportJobSpec = batch[0].spec
@@ -312,6 +411,9 @@ class RegistrationService:
         pool = get_plan_pool()
         pool_before = pool.stats
         decisions_before = layout_decision_log().total
+        # a merged solve is only abandoned once EVERY rider cancelled;
+        # individually cancelled riders are sorted out after the solve
+        batch_token = CombinedCancelToken([job.cancel_token for job in batch])
         try:
             with trace_span(
                 "service.job",
@@ -326,12 +428,19 @@ class RegistrationService:
                     comm=comm,
                 )
                 templates = np.stack([job.spec.moving for job in batch], axis=0)
-                transported = solver.solve_state_many(lead.velocity, templates)
+                transported = solver.solve_state_many(
+                    lead.velocity, templates, cancel_token=batch_token
+                )
+        except SolveCancelled:
+            for job in batch:
+                job._cancelled()
+                self._finalize(job)
+            return
         except Exception as exc:  # noqa: BLE001 - job-level isolation
             text = traceback.format_exc()
             for job in batch:
                 job._fail(str(exc), text)
-                self._journal(job)
+                self._finalize(job)
             return
         delta = pool.stats - pool_before
         ledger = comm.ledger.summary()
@@ -345,14 +454,25 @@ class RegistrationService:
         }
         for index, job in enumerate(batch):
             job.record.metrics = dict(metrics)
-            job._complete(transported[index])
-            self._journal(job)
+            if job.cancel_token.cancelled:
+                # this rider asked out mid-batch; its peers keep their
+                # results, the rider records CANCELLED (no result delivery)
+                job._cancelled()
+            else:
+                job._complete(transported[index])
+            self._finalize(job)
 
-    def _journal(self, job: Job) -> None:
+    def _finalize(self, job: Job) -> None:
+        """Persist a terminal job: journal terminal record + JSON artifact."""
+        if self.journal is not None:
+            try:
+                self.journal.record_terminal(job)
+            except Exception:  # noqa: BLE001 - persistence must never fail a job
+                LOGGER.exception("failed to journal the end of job %s", job.job_id)
         if self.artifacts_dir is None:
             return
         try:
             with trace_span("service.artifact", job_id=job.job_id):
                 write_job_artifact(self.artifacts_dir, job)
         except Exception:  # noqa: BLE001 - journaling must never fail a job
-            LOGGER.exception("failed to write the artifact of job %d", job.job_id)
+            LOGGER.exception("failed to write the artifact of job %s", job.job_id)

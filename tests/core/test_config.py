@@ -137,6 +137,56 @@ class TestValidateAndApply:
         assert config.apply() is config
 
 
+class TestServiceEnvVars:
+    def test_env_service_journal_round_trip(self, monkeypatch):
+        from repro.config import SERVICE_JOURNAL_ENV_VAR, env_service_journal
+
+        monkeypatch.delenv(SERVICE_JOURNAL_ENV_VAR, raising=False)
+        assert env_service_journal() is None
+        monkeypatch.setenv(SERVICE_JOURNAL_ENV_VAR, "/tmp/some-journal")
+        assert str(env_service_journal()) == "/tmp/some-journal"
+
+    def test_env_http_port_parses_and_validates(self, monkeypatch):
+        from repro.config import HTTP_PORT_ENV_VAR, env_http_port
+
+        monkeypatch.delenv(HTTP_PORT_ENV_VAR, raising=False)
+        assert env_http_port() is None
+        monkeypatch.setenv(HTTP_PORT_ENV_VAR, "8787")
+        assert env_http_port() == 8787
+        for bad in ("eighty", "-1", "70000"):
+            monkeypatch.setenv(HTTP_PORT_ENV_VAR, bad)
+            with pytest.raises(ValueError, match=HTTP_PORT_ENV_VAR):
+                env_http_port()
+
+    def test_env_class_weights_parses_and_validates(self, monkeypatch):
+        from repro.config import (
+            SERVICE_CLASS_WEIGHTS_ENV_VAR,
+            env_service_class_weights,
+        )
+
+        monkeypatch.delenv(SERVICE_CLASS_WEIGHTS_ENV_VAR, raising=False)
+        assert env_service_class_weights() == {}
+        monkeypatch.setenv(
+            SERVICE_CLASS_WEIGHTS_ENV_VAR, "interactive=4, atlas-burst=0.5"
+        )
+        assert env_service_class_weights() == {"interactive": 4.0, "atlas-burst": 0.5}
+        for bad in ("interactive", "interactive=fast", "interactive=0", "=2"):
+            monkeypatch.setenv(SERVICE_CLASS_WEIGHTS_ENV_VAR, bad)
+            with pytest.raises(ValueError, match=SERVICE_CLASS_WEIGHTS_ENV_VAR):
+                env_service_class_weights()
+
+    def test_validate_surfaces_malformed_service_env(self, monkeypatch):
+        from repro.config import HTTP_PORT_ENV_VAR, SERVICE_CLASS_WEIGHTS_ENV_VAR
+
+        monkeypatch.setenv(HTTP_PORT_ENV_VAR, "not-a-port")
+        with pytest.raises(ValueError, match=HTTP_PORT_ENV_VAR):
+            RegistrationConfig().validate()
+        monkeypatch.delenv(HTTP_PORT_ENV_VAR)
+        monkeypatch.setenv(SERVICE_CLASS_WEIGHTS_ENV_VAR, "interactive=-3")
+        with pytest.raises(ValueError, match=SERVICE_CLASS_WEIGHTS_ENV_VAR):
+            RegistrationConfig().validate()
+
+
 class TestSolverIntegration:
     def test_solver_takes_backends_from_config(self, tiny_problem, fast_options):
         solver = RegistrationSolver(

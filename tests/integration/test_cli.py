@@ -286,9 +286,25 @@ class TestServeCommand:
             *extra,
         ]
 
-    def test_serve_requires_a_source(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_a_source_or_http(self, monkeypatch, capsys):
+        # no parse-time failure anymore (--http mode has no population
+        # source), but a bare serve still fails fast with a clean error
+        monkeypatch.delenv("REPRO_HTTP_PORT", raising=False)
+        assert main(["serve"]) == 2
+        assert "--http" in capsys.readouterr().err
+
+    def test_serve_rejects_http_with_a_source(self, capsys):
+        assert main(["serve", "--http", "0", "--synthetic", "8"]) == 2
+        assert "--http" in capsys.readouterr().err
+
+    def test_serve_rejects_out_of_range_http_port(self, capsys):
+        assert main(["serve", "--http", "99999"]) == 2
+        assert "65535" in capsys.readouterr().err
+
+    def test_serve_surfaces_malformed_http_port_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_HTTP_PORT", "eighty")
+        assert main(["serve", "--synthetic", "8", "--subjects", "2"]) == 2
+        assert "REPRO_HTTP_PORT" in capsys.readouterr().err
 
     def test_synthetic_atlas_run(self, tmp_path, capsys):
         out_path = tmp_path / "atlas.npz"

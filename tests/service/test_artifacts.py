@@ -1,0 +1,159 @@
+"""Artifact-write regressions: numpy metrics, tmp litter, id collisions."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service.artifacts import artifact_path, job_artifact, write_job_artifact
+from repro.service.jobs import Job, TransportJobSpec, json_safe, new_job_id
+
+
+class _NullService:
+    def _cancel(self, job, force=False):
+        return False
+
+
+def _job(seed=0):
+    rng = np.random.default_rng(seed)
+    spec = TransportJobSpec(
+        velocity=rng.standard_normal((3, 8, 8, 8)),
+        moving=rng.standard_normal((8, 8, 8)),
+    )
+    return Job(spec, _NullService())
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_become_builtins(self):
+        coerced = json_safe(
+            {
+                "res": np.float64(1.5),
+                "count": np.int64(3),
+                "flag": np.bool_(True),
+                "arr": np.arange(3),
+            }
+        )
+        assert coerced == {"res": 1.5, "count": 3, "flag": True, "arr": [0, 1, 2]}
+        assert type(coerced["res"]) is float
+        assert type(coerced["count"]) is int
+        assert type(coerced["flag"]) is bool
+        json.dumps(coerced)  # must not raise
+
+    def test_nested_structures_and_tuples(self):
+        coerced = json_safe({"a": [(np.int32(1), {"b": np.float32(2.0)})], 3: None})
+        assert coerced == {"a": [[1, {"b": 2.0}]], "3": None}
+        json.dumps(coerced)
+
+    def test_unknown_objects_fall_back_to_str(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert json_safe(Opaque()) == "<opaque>"
+
+
+class TestNumpyMetricsRegression:
+    """S2: numpy scalars in job metrics must never fail the artifact write."""
+
+    def test_numpy_metrics_serialize_cleanly(self, tmp_path):
+        job = _job()
+        job.record.metrics = {
+            "relative_residual": np.float64(0.125),
+            "ghost_bytes": np.int64(4096),
+            "diffeomorphic": np.bool_(True),
+            "per_rank": np.array([1, 2, 3]),
+            "nested": {"norms": (np.float32(1.0), np.float64(2.0))},
+        }
+        job._complete(None)
+        path = write_job_artifact(tmp_path, job)
+        doc = json.loads(path.read_text())
+        metrics = doc["job"]["metrics"]
+        assert metrics["relative_residual"] == 0.125
+        assert metrics["ghost_bytes"] == 4096
+        assert metrics["diffeomorphic"] is True
+        assert metrics["per_rank"] == [1, 2, 3]
+        assert metrics["nested"]["norms"] == [1.0, 2.0]
+
+    def test_successful_write_leaves_no_tmp_litter(self, tmp_path):
+        job = _job()
+        job._complete(None)
+        write_job_artifact(tmp_path, job)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_replace_removes_the_tmp_file(self, tmp_path, monkeypatch):
+        """S2: any failure after the tmp file exists must unlink it."""
+        import repro.service.artifacts as artifacts_module
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(artifacts_module.os, "replace", exploding_replace)
+        job = _job()
+        job._complete(None)
+        with pytest.raises(OSError, match="simulated"):
+            write_job_artifact(tmp_path, job)
+        assert list(tmp_path.glob("*.tmp")) == [], "tmp litter leaked on failure"
+        assert not artifact_path(tmp_path, job).exists()
+
+    def test_rewrite_is_atomic_over_an_existing_artifact(self, tmp_path):
+        job = _job()
+        job._complete(None)
+        first = write_job_artifact(tmp_path, job)
+        job.record.metrics = {"round": 2}
+        second = write_job_artifact(tmp_path, job)
+        assert first == second
+        assert json.loads(second.read_text())["job"]["metrics"]["round"] == 2
+        assert len(list(tmp_path.glob("job-*.json"))) == 1
+
+
+class TestJobIdCollisions:
+    """S1: ids must be unique across processes and artifact paths stable."""
+
+    def test_ids_are_unique_within_a_process(self):
+        ids = {new_job_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_ids_keep_submission_order_readable(self):
+        first, second = new_job_id(), new_job_id()
+        assert int(first.split("-")[0]) + 1 == int(second.split("-")[0])
+
+    def test_two_processes_never_collide(self):
+        """The old per-process ``itertools.count(1)`` collided on job 1."""
+        script = (
+            "from repro.service.jobs import new_job_id;"
+            "print('\\n'.join(new_job_id() for _ in range(20)))"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = os.pathsep.join([src, env.get("PYTHONPATH", "")]).rstrip(
+            os.pathsep
+        )
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            ).stdout.split()
+            for _ in range(2)
+        ]
+        assert not set(runs[0]) & set(runs[1]), "job ids collided across processes"
+
+    def test_artifact_paths_differ_for_identical_specs(self, tmp_path):
+        jobs = [_job(seed=7), _job(seed=7)]
+        paths = {artifact_path(tmp_path, job) for job in jobs}
+        assert len(paths) == 2
+
+    def test_artifact_document_carries_the_string_id(self):
+        job = _job()
+        job._complete(None)
+        doc = job_artifact(job)
+        assert doc["job"]["job_id"] == job.job_id
+        assert isinstance(doc["job"]["job_id"], str)

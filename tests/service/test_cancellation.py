@@ -1,0 +1,241 @@
+"""Cooperative cancellation: tokens, solver safe points, service semantics."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.optim.gauss_newton import SolverOptions
+from repro.core.optim.line_search import ArmijoLineSearch
+from repro.core.registration import register
+from repro.data.synthetic import synthetic_registration_problem
+from repro.parallel.pencil import PencilDecomposition
+from repro.parallel.transport import DistributedTransportSolver
+from repro.runtime.cancellation import (
+    CancelToken,
+    CombinedCancelToken,
+    SolveCancelled,
+    check_cancelled,
+)
+from repro.service import (
+    JobCancelledError,
+    JobStatus,
+    RegistrationJobSpec,
+    RegistrationService,
+    TransportJobSpec,
+)
+
+from tests.fixtures import make_grid, smooth_scalar_field, smooth_velocity_field
+
+
+def _wait_for(predicate, timeout=60.0, interval=0.002):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _slow_transport_spec(grid, seed=9, moving_seed=70, num_time_steps=2000):
+    """A transport solve long enough to cancel mid-flight deterministically."""
+    return TransportJobSpec(
+        velocity=smooth_velocity_field(grid, seed=seed),
+        moving=smooth_scalar_field(grid, seed=moving_seed),
+        num_time_steps=num_time_steps,
+        num_tasks=2,
+        grid=grid,
+    )
+
+
+def _endless_registration_spec(problem):
+    """A registration that cannot converge before it is cancelled.
+
+    Tolerances no solve reaches keep the gradient test alive, and the
+    tiny fixed line-search step keeps the iteration from ever stalling
+    into ``line_search_failure``: a 1e-6 step along the descent
+    direction always satisfies Armijo while the gradient is O(1), yet
+    makes no real progress — so the job runs until cancelled.
+    """
+    return RegistrationJobSpec(
+        template=problem.template,
+        reference=problem.reference,
+        optimizer="gradient_descent",
+        gauss_newton=False,
+        options=SolverOptions(
+            gradient_tolerance=1e-30,
+            absolute_gradient_tolerance=1e-300,
+            max_newton_iterations=1_000_000,
+            line_search=ArmijoLineSearch(initial_step=1e-6),
+        ),
+    )
+
+
+class TestTokens:
+    def test_token_starts_clear_and_latches(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op while clear
+        token.cancel()
+        token.cancel()  # idempotent
+        assert token.cancelled
+        with pytest.raises(SolveCancelled, match="solve"):
+            token.raise_if_cancelled()
+
+    def test_raise_names_the_operation(self):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(SolveCancelled, match="transport solve"):
+            token.raise_if_cancelled("transport solve")
+
+    def test_check_cancelled_accepts_none(self):
+        check_cancelled(None)  # must be a no-op
+
+    def test_combined_token_requires_every_rider(self):
+        riders = [CancelToken() for _ in range(3)]
+        combined = CombinedCancelToken(riders)
+        riders[0].cancel()
+        riders[1].cancel()
+        assert not combined.cancelled
+        combined.raise_if_cancelled()
+        riders[2].cancel()
+        assert combined.cancelled
+        with pytest.raises(SolveCancelled):
+            combined.raise_if_cancelled()
+
+    def test_combined_token_of_one(self):
+        rider = CancelToken()
+        combined = CombinedCancelToken([rider])
+        assert not combined.cancelled
+        rider.cancel()
+        assert combined.cancelled
+
+
+class TestSolverSafePoints:
+    """A pre-cancelled token stops each solver at its first safe point."""
+
+    @pytest.mark.parametrize("optimizer", ["gauss_newton", "gradient_descent"])
+    def test_registration_raises_before_first_iteration(self, optimizer):
+        problem = synthetic_registration_problem(8)
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(SolveCancelled, match="registration solve"):
+            register(
+                problem.template,
+                problem.reference,
+                optimizer=optimizer,
+                gauss_newton=optimizer == "gauss_newton",
+                options=SolverOptions(max_newton_iterations=3, cancel_token=token),
+            )
+
+    def test_transport_raises_before_first_step(self):
+        grid = make_grid(8)
+        deco = PencilDecomposition.from_num_tasks(grid.shape, 2)
+        solver = DistributedTransportSolver(grid, deco, num_time_steps=3)
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(SolveCancelled, match="transport solve"):
+            solver.solve_state(
+                smooth_velocity_field(grid, seed=3),
+                smooth_scalar_field(grid, seed=4),
+                cancel_token=token,
+            )
+        with pytest.raises(SolveCancelled, match="transport solve"):
+            solver.solve_state_many(
+                smooth_velocity_field(grid, seed=3),
+                np.stack([smooth_scalar_field(grid, seed=4)] * 2),
+                cancel_token=token,
+            )
+
+
+class TestServiceCancellation:
+    def test_plain_cancel_refuses_running_force_cancels(self):
+        grid = make_grid(8)
+        with RegistrationService(num_workers=1, max_batch=1) as service:
+            job = service.submit_transport(_slow_transport_spec(grid))
+            assert _wait_for(lambda: job.status is JobStatus.RUNNING)
+            assert job.cancel() is False, "plain cancel must not stop a RUNNING job"
+            assert job.cancel(force=True) is True
+            assert job.wait(timeout=60)
+        assert job.status is JobStatus.CANCELLED
+        with pytest.raises(JobCancelledError):
+            job.result(timeout=1)
+
+    def test_force_cancel_of_terminal_job_returns_false(self):
+        grid = make_grid(8)
+        with RegistrationService(num_workers=1) as service:
+            job = service.submit_transport(
+                _slow_transport_spec(grid, num_time_steps=2)
+            )
+            job.result(timeout=120)
+            assert job.cancel(force=True) is False
+
+    def test_running_registration_cancels_between_iterations(self):
+        problem = synthetic_registration_problem(8)
+        with RegistrationService(num_workers=1) as service:
+            job = service.submit_registration(_endless_registration_spec(problem))
+            assert _wait_for(lambda: job.status is JobStatus.RUNNING)
+            time.sleep(0.05)  # let the outer loop actually start iterating
+            cancelled_at = time.monotonic()
+            assert job.cancel(force=True) is True
+            assert job.wait(timeout=60), "the solve must stop at the next iteration"
+            stop_latency = time.monotonic() - cancelled_at
+        assert job.status is JobStatus.CANCELLED, "cancelled, not FAILED"
+        assert job.record.error is None
+        # generous bound: one 8^3 gradient-descent iteration is milliseconds
+        assert stop_latency < 30.0
+
+    def test_cancelled_rider_leaves_its_batch_peers_complete(self):
+        grid = make_grid(8)
+        velocity = smooth_velocity_field(grid, seed=11)
+        spec = lambda m: TransportJobSpec(  # noqa: E731
+            velocity=velocity,
+            moving=smooth_scalar_field(grid, seed=m),
+            num_time_steps=1500,
+            num_tasks=2,
+            grid=grid,
+        )
+        with RegistrationService(num_workers=1, max_batch=2) as service:
+            blocker = service.submit_transport(
+                _slow_transport_spec(grid, seed=99, num_time_steps=2)
+            )
+            rider, peer = service.submit_transport(spec(80)), service.submit_transport(spec(81))
+            blocker.result(timeout=120)
+            assert _wait_for(lambda: rider.status is JobStatus.RUNNING)
+            assert rider.record.batch_size == 2, "both jobs must ride one batch"
+            assert rider.cancel(force=True) is True
+            result = peer.result(timeout=300)
+        assert peer.status is JobStatus.DONE, "peers of a cancelled rider complete"
+        assert result.shape == grid.shape
+        assert rider.status is JobStatus.CANCELLED
+        with pytest.raises(JobCancelledError):
+            rider.result(timeout=1)
+
+    def test_batch_aborts_once_every_rider_cancelled(self):
+        grid = make_grid(8)
+        velocity = smooth_velocity_field(grid, seed=17)
+        spec = lambda m: TransportJobSpec(  # noqa: E731
+            velocity=velocity,
+            moving=smooth_scalar_field(grid, seed=m),
+            num_time_steps=5000,
+            num_tasks=2,
+            grid=grid,
+        )
+        with RegistrationService(num_workers=1, max_batch=2) as service:
+            blocker = service.submit_transport(
+                _slow_transport_spec(grid, seed=98, num_time_steps=2)
+            )
+            jobs = [service.submit_transport(spec(m)) for m in (85, 86)]
+            blocker.result(timeout=120)
+            assert _wait_for(lambda: jobs[0].status is JobStatus.RUNNING)
+            started = time.monotonic()
+            for job in jobs:
+                assert job.cancel(force=True) is True
+            for job in jobs:
+                assert job.wait(timeout=60)
+            abort_latency = time.monotonic() - started
+        assert all(job.status is JobStatus.CANCELLED for job in jobs)
+        # 5000 time steps would take far longer than the abort did
+        assert abort_latency < 30.0
