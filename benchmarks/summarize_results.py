@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Roll ``benchmarks/results/*.json`` up into one ``summary.json``.
+
+Every ``bench_*`` module writes a machine-readable artifact wrapped in the
+``repro.bench-result`` envelope (see ``benchmarks/conftest.py``).  CI uploads
+the whole results directory, but diffing a PR's perf trajectory against the
+previous run means opening dozens of documents.  This script condenses them
+into a single ``summary.json``: one entry per bench with its headline numeric
+fields (scalars at the top two levels of the payload; tables are reduced to
+their row counts).  Stdlib only — it must run in the leanest CI leg.
+
+Usage::
+
+    python benchmarks/summarize_results.py            # writes results/summary.json
+    python benchmarks/summarize_results.py --check    # exit 1 on malformed envelopes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+SUMMARY_SCHEMA = "repro.bench-summary"
+SUMMARY_SCHEMA_VERSION = 1
+
+#: Envelope of the per-bench documents this script consumes.
+RESULT_SCHEMA = "repro.bench-result"
+
+ENVELOPE_KEYS = frozenset({"schema", "schema_version", "bench", "timestamp"})
+
+
+def headline_numbers(payload: dict) -> dict:
+    """Numeric scalars from the top two payload levels, dotted-key flattened.
+
+    Lists (the row-oriented tables most benches emit) are reduced to a
+    ``<key>.rows`` count so the summary stays one line per number instead of
+    duplicating the table.
+    """
+    headline: dict = {}
+    for key, value in payload.items():
+        if key in ENVELOPE_KEYS:
+            continue
+        if isinstance(value, bool) or isinstance(value, numbers.Number):
+            headline[key] = value
+        elif isinstance(value, list):
+            headline[f"{key}.rows"] = len(value)
+        elif isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                if isinstance(sub_value, bool) or isinstance(sub_value, numbers.Number):
+                    headline[f"{key}.{sub_key}"] = sub_value
+                elif isinstance(sub_value, list):
+                    headline[f"{key}.{sub_key}.rows"] = len(sub_value)
+    return headline
+
+
+def summarize(results_dir: Path) -> tuple[dict, list[str]]:
+    """Build the summary document; returns ``(summary, problems)``."""
+    benches: dict = {}
+    problems: list[str] = []
+    for path in sorted(results_dir.glob("*.json")):
+        if path.name == "summary.json":
+            continue
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            problems.append(f"{path.name}: invalid JSON ({error})")
+            continue
+        if not isinstance(document, dict) or document.get("schema") != RESULT_SCHEMA:
+            problems.append(
+                f"{path.name}: missing the {RESULT_SCHEMA!r} envelope; skipped"
+            )
+            continue
+        bench = document.get("bench", path.stem)
+        benches[bench] = {
+            "file": path.name,
+            "schema_version": document.get("schema_version"),
+            "timestamp": document.get("timestamp"),
+            "headline": headline_numbers(document),
+        }
+    summary = {
+        "schema": SUMMARY_SCHEMA,
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "num_benches": len(benches),
+        "benches": benches,
+    }
+    return summary, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=Path(__file__).parent / "results",
+        help="directory holding the per-bench *.json artifacts",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="summary path (default: <results-dir>/summary.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any artifact is malformed",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results_dir.is_dir():
+        print(f"results directory {args.results_dir} does not exist", file=sys.stderr)
+        return 1
+    summary, problems = summarize(args.results_dir)
+    output = args.output or args.results_dir / "summary.json"
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"{summary['num_benches']} bench artifacts rolled up into {output}")
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    if problems and args.check:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ import numpy as np
 from repro.analysis.experiments import reproduce_scaling_table
 from repro.analysis.reporting import format_breakdown_table, format_rows
 from repro.config import RegistrationConfig, env_http_port
+from repro.core.gradients import gradient_cache_decision_log
 from repro.core.optim.gauss_newton import SolverOptions
 from repro.core.registration import RegistrationSolver
 from repro.data.brain import brain_registration_pair
@@ -450,6 +451,20 @@ def _run_register(
             last = decisions.recent()[-1]
             print(
                 f"  last: {last.layout} for {last.num_points} points "
+                f"({last.reason})"
+            )
+        cache_decisions = gradient_cache_decision_log()
+        if cache_decisions.total:
+            counts = ", ".join(
+                f"{mode}: {count}"
+                for mode, count in cache_decisions.counts().items()
+            )
+            print(
+                f"gradient cache: {cache_decisions.total} decisions ({counts})"
+            )
+            last = cache_decisions.recent()[-1]
+            print(
+                f"  last: {last.mode} for {last.num_levels} levels "
                 f"({last.reason})"
             )
         phase_table = format_phase_table()

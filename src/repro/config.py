@@ -158,6 +158,11 @@ class RegistrationConfig:
         Field-source mode (``"resident"``, ``"memmap"``); ``memmap`` runs
         every frontend gather through a disk-backed source (the
         ``REPRO_FIELD_SOURCE`` / ``--field-source`` knob).
+    gradient_cache:
+        Enable the per-iterate state-gradient cache
+        (:mod:`repro.core.gradients`; the ``REPRO_GRADIENT_CACHE`` knob).
+        ``False`` restores the paper's uncached ``8 nt``-FFT mat-vec cost
+        model; results are bitwise identical either way.
     trace:
         Enable structured tracing spans (the ``REPRO_TRACE`` / ``--trace``
         knob).  Applying ``trace=True`` turns the process-wide recorder on;
@@ -177,6 +182,7 @@ class RegistrationConfig:
     plan_pool_bytes: Optional[int] = None
     auto_fraction: Optional[float] = None
     field_source: Optional[str] = None
+    gradient_cache: Optional[bool] = None
     trace: Optional[bool] = None
     trace_out: Optional[str] = None
 
@@ -205,6 +211,10 @@ class RegistrationConfig:
         changes later.  Malformed environment values raise here with the
         valid choices, exactly as they would at solve time.
         """
+        # imported lazily: repro.core.registration imports this module, so a
+        # top-level import of repro.core.* here would be circular
+        from repro.core.gradients import gradient_cache_enabled
+
         return cls(
             fft_backend=fft_backends.default_backend_name(),
             interp_backend=interp_kernels.default_backend_name(),
@@ -213,6 +223,7 @@ class RegistrationConfig:
             plan_pool_bytes=get_plan_pool().max_bytes,
             auto_fraction=auto_streaming_fraction(),
             field_source=field_sources.default_field_source(),
+            gradient_cache=gradient_cache_enabled(),
             trace=tracing_enabled() or bool(env_trace_enabled()),
             trace_out=env_trace_out(),
         )
@@ -246,8 +257,11 @@ class RegistrationConfig:
                 f"unknown field-source mode {self.field_source!r}; "
                 f"expected one of {field_sources.FIELD_SOURCE_MODES}"
             )
+        from repro.core.gradients import env_gradient_cache_enabled
+
         interp_kernels.default_plan_layout()  # validate $REPRO_PLAN_LAYOUT
         auto_streaming_fraction()  # ... and $REPRO_PLAN_AUTO_FRACTION
+        env_gradient_cache_enabled()  # ... and $REPRO_GRADIENT_CACHE
         env_pool_budget()  # ... and $REPRO_PLAN_POOL_BYTES
         field_sources.default_field_source()  # ... and $REPRO_FIELD_SOURCE
         env_trace_enabled()  # ... and $REPRO_TRACE
@@ -276,6 +290,10 @@ class RegistrationConfig:
             configure_plan_pool(self.plan_pool_bytes)
         if self.field_source is not None:
             field_sources.set_default_field_source(self.field_source)
+        if self.gradient_cache is not None:
+            from repro.core.gradients import set_gradient_cache_enabled
+
+            set_gradient_cache_enabled(self.gradient_cache)
         if self.trace is not None:
             if self.trace:
                 enable_tracing()

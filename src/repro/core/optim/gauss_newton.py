@@ -72,9 +72,11 @@ class SolverOptions:
     cancel_token:
         Optional cooperative cancellation token
         (:class:`repro.runtime.cancellation.CancelToken`).  Polled between
-        outer iterations; when set, the solver raises
+        outer iterations *and* between the Krylov iterations of every inner
+        PCG solve; when set, the solver raises
         :class:`~repro.runtime.cancellation.SolveCancelled` instead of
-        starting the next Newton step.  Never serialized with the options.
+        starting the next Newton step or Hessian mat-vec.  Never serialized
+        with the options.
     """
 
     gradient_tolerance: float = 1e-2
@@ -235,6 +237,7 @@ class GaussNewtonKrylov:
                         preconditioner=preconditioner,
                         rel_tol=forcing,
                         max_iterations=options.max_krylov_iterations,
+                        cancel_token=options.cancel_token,
                     )
                 matvecs_this_iteration = problem.hessian_matvec_count - matvec_count_before
                 total_matvecs += matvecs_this_iteration

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.observability.trace import trace_span
+from repro.runtime.cancellation import check_cancelled
 from repro.spectral.grid import Grid
 from repro.utils.logging import get_logger
 
@@ -56,6 +57,7 @@ def pcg(
     abs_tol: float = 0.0,
     max_iterations: int = 100,
     x0: Optional[np.ndarray] = None,
+    cancel_token: Optional[object] = None,
 ) -> PCGResult:
     """Solve ``H x = rhs`` with preconditioned conjugate gradients.
 
@@ -79,6 +81,14 @@ def pcg(
     x0:
         Optional initial guess (zero by default, the usual choice for
         Newton systems).
+    cancel_token:
+        Optional cooperative cancellation token
+        (:class:`repro.runtime.cancellation.CancelToken`).  Polled before
+        every mat-vec — a Krylov solve runs up to ``max_iterations``
+        Hessian applications (seconds to minutes at production grids), far
+        too long to defer cancellation to the outer Newton loop.  When set,
+        :class:`~repro.runtime.cancellation.SolveCancelled` is raised
+        between iterations, never mid-mat-vec.
 
     Returns
     -------
@@ -112,6 +122,9 @@ def pcg(
     converged = False
     iterations = 0
     for iteration in range(max_iterations):
+        # cooperative cancellation: the safe point between Krylov
+        # iterations — x/r/p are consistent, no mat-vec is in flight
+        check_cancelled(cancel_token, "pcg solve")
         with trace_span("pcg.matvec", iteration=iteration):
             hp = matvec(p)
         curvature = grid.inner(p, hp)

@@ -117,6 +117,26 @@ class SpectralOperators:
         stacked = np.stack([ik1 * spectrum, ik2 * spectrum, ik3 * spectrum], axis=0)
         return self.fft.inverse_vector(stacked)
 
+    def gradient_many(self, fields: np.ndarray) -> np.ndarray:
+        """Gradients of a ``(B, N1, N2, N3)`` stack, returned ``(B, 3, ...)``.
+
+        The whole stack runs through one batched forward and one batched
+        inverse transform (``4 B`` scalar FFTs, exactly the per-field count
+        of :meth:`gradient` — batching changes the dispatch, never the
+        complexity accounting).  This is the time-axis fusion of the
+        incremental solvers: all ``nt + 1`` state-gradient levels in two
+        backend calls instead of ``nt + 1`` Python-loop iterations.
+        """
+        fields = np.asarray(fields)
+        if fields.ndim != 4 or fields.shape[1:] != self.grid.shape:
+            raise ValueError(
+                f"field stack has shape {fields.shape}, expected (B, {', '.join(map(str, self.grid.shape))})"
+            )
+        spectra = self.fft.forward_batch(fields)
+        ik1, ik2, ik3 = self._ik
+        stacked = np.stack([ik1 * spectra, ik2 * spectra, ik3 * spectra], axis=1)
+        return self.fft.backward_batch(stacked)
+
     def laplacian(self, field: np.ndarray) -> np.ndarray:
         """Scalar Laplacian ``lap field``."""
         return self.fft.apply_symbol(field, self._minus_ksq)
@@ -147,6 +167,25 @@ class SpectralOperators:
         ik1, ik2, ik3 = self._ik
         spectrum = ik1 * spectra[0] + ik2 * spectra[1] + ik3 * spectra[2]
         return self.fft.backward(spectrum)
+
+    def divergence_many(self, vector_fields: np.ndarray) -> np.ndarray:
+        """Divergences of a ``(B, 3, N1, N2, N3)`` stack, returned ``(B, ...)``.
+
+        One batched forward over all ``3 B`` components and one batched
+        inverse over the ``B`` results (``4 B`` scalar FFTs, matching ``B``
+        calls of :meth:`divergence`).  Fuses the full-Newton source loop of
+        the incremental adjoint into two backend calls.
+        """
+        vector_fields = np.asarray(vector_fields)
+        if vector_fields.ndim != 5 or vector_fields.shape[1:] != (3, *self.grid.shape):
+            raise ValueError(
+                f"vector stack has shape {vector_fields.shape}, "
+                f"expected (B, 3, {', '.join(map(str, self.grid.shape))})"
+            )
+        spectra = self.fft.forward_batch(vector_fields)
+        ik1, ik2, ik3 = self._ik
+        combined = ik1 * spectra[:, 0] + ik2 * spectra[:, 1] + ik3 * spectra[:, 2]
+        return self.fft.backward_batch(combined)
 
     def vector_laplacian(self, vector_field: np.ndarray) -> np.ndarray:
         """Component-wise Laplacian of a vector field (one batched call)."""

@@ -253,13 +253,19 @@ class TransportSolver:
         plan: TransportPlan,
         perturbation: np.ndarray,
         state_history: np.ndarray,
+        state_gradients: Optional[object] = None,
     ) -> np.ndarray:
         """Solve the incremental (linearized) state equation.
 
         ``d rho~/dt + v . grad rho~ = - v~ . grad rho(t)`` with
         ``rho~(., 0) = 0``.  The right-hand side needs the gradient of the
         stored state history at the old and new time levels (four FFTs and
-        two interpolations per time step, cf. Algorithm 2 of the paper).
+        two interpolations per time step, cf. Algorithm 2 of the paper);
+        passing the iterate's shared gradient source (*state_gradients*, any
+        object with a ``level(j)`` method — see
+        :class:`repro.core.gradients.StateGradients`; duck-typed to keep the
+        transport layer below the core) serves them from the per-iterate
+        cache — zero gradient FFTs on the Hessian mat-vec hot path.
         """
         perturbation = check_velocity_shape(perturbation, self.grid.shape)
         nt = plan.num_time_steps
@@ -271,7 +277,10 @@ class TransportSolver:
         ops = self.operators
 
         def rhs(j: int) -> np.ndarray:
-            grad_rho = ops.gradient(state_history[j])
+            if state_gradients is not None:
+                grad_rho = state_gradients.level(j)
+            else:
+                grad_rho = ops.gradient(state_history[j])
             return -(
                 perturbation[0] * grad_rho[0]
                 + perturbation[1] * grad_rho[1]
@@ -343,13 +352,10 @@ class TransportSolver:
                     f"adjoint history has shape {adjoint_history.shape}, "
                     f"expected {(nt + 1, *self.grid.shape)}"
                 )
-            # div(lam(t) v~) for every time level, computed spectrally
-            newton_sources = np.stack(
-                [
-                    ops.divergence(adjoint_history[j][None] * perturbation)
-                    for j in range(nt + 1)
-                ],
-                axis=0,
+            # div(lam(t) v~) for every time level, computed spectrally with
+            # the whole time axis fused into one batched transform pair
+            newton_sources = ops.divergence_many(
+                adjoint_history[:, None] * perturbation[None]
             )
 
         history = np.empty((nt + 1, *self.grid.shape), dtype=self.grid.dtype)

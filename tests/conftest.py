@@ -18,6 +18,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.gradients import (
+    gradient_cache_decision_log,
+    set_gradient_cache_enabled,
+)
 from repro.observability.trace import (
     disable_tracing,
     enable_tracing,
@@ -62,16 +66,20 @@ def _fresh_plan_pool():
     set_auto_fraction(None)
     set_default_workers(None)
     set_default_field_source(None)
+    set_gradient_cache_enabled(None)
     layout_decision_log().reset()
     field_source_log().reset()
+    gradient_cache_decision_log().reset()
     yield
     reset_plan_pool()
     set_default_plan_layout(None)
     set_auto_fraction(None)
     set_default_workers(None)
     set_default_field_source(None)
+    set_gradient_cache_enabled(None)
     layout_decision_log().reset()
     field_source_log().reset()
+    gradient_cache_decision_log().reset()
     if trace_was_enabled:
         enable_tracing()
     else:

@@ -5,7 +5,8 @@ Gauss-Newton Hessian matvec.
 
 **FFTs.**  In this implementation one "paper FFT" is a forward/inverse pair,
 and the exact per-matvec transform count for the Gauss-Newton,
-non-incompressible path is
+non-incompressible path in the paper's *uncached* cost model
+(``REPRO_GRADIENT_CACHE=0``) is
 
     transforms(nt) = 8*(nt + 1) + 6
 
@@ -14,6 +15,13 @@ the body-force integrand gradients — both trapezoid rules visit ``nt + 1``
 time levels — plus ``6`` for the batched regularization matvec), i.e.
 ``4*nt + 7`` pairs, which sits inside the paper's ``8*nt`` budget for every
 ``nt >= 2``.
+
+With the per-iterate gradient cache (:mod:`repro.core.gradients`, the
+default), all ``8*(nt+1)`` state-gradient transforms amortize into the
+``linearize`` call, so a **warm matvec performs zero spectral-gradient
+FFTs** — only the regularizer's batched matvec remains:
+
+    transforms_warm(nt) = 6                      (independent of nt)
 
 **Interpolations.**  One "sweep" is an interpolation of all grid points at
 the cached departure points.  The incremental state performs 2 sweeps per
@@ -24,7 +32,10 @@ gather); the incremental adjoint performs 2 for a general velocity (the
     sweeps(nt) = 4*nt          (general velocity; exactly the paper's count)
     sweeps(nt) = 3*nt          (divergence-free velocity)
 
-These tests pin both numbers exactly so any refactor of the spectral or
+The interpolation cost is identical cached and uncached — the cache only
+touches spectral work.
+
+These tests pin all three numbers exactly so any refactor of the spectral or
 interpolation layers (backends, batching, plan caching) that changes the
 amount of kernel work is caught immediately, and they assert the counts are
 identical for every available FFT / interpolation backend — counting lives
@@ -34,14 +45,20 @@ in the frontends, never in the pluggable engines.
 import numpy as np
 import pytest
 
+from repro.core.gradients import set_gradient_cache_enabled
 from repro.core.problem import RegistrationProblem
 from repro.data.synthetic import synthetic_registration_problem
 from repro.spectral.backends import available_backends as available_fft_backends
 from repro.transport.kernels import available_backends as available_interp_backends
 
 
+def warm_transforms_per_matvec() -> int:
+    """Transform count of a warm cached Gauss-Newton matvec: regularizer only."""
+    return 6
+
+
 def exact_transforms_per_matvec(nt: int) -> int:
-    """Analytic transform count of one Gauss-Newton Hessian matvec."""
+    """Analytic transform count of one *uncached* Gauss-Newton Hessian matvec."""
     return 8 * (nt + 1) + 6
 
 
@@ -71,11 +88,18 @@ def _generic_velocity(problem) -> np.ndarray:
     )
 
 
-def _measure_matvec_work(nt: int, fft_backend: str = "numpy", interp_backend: str = None):
+def _measure_matvec_work(
+    nt: int,
+    fft_backend: str = "numpy",
+    interp_backend: str = None,
+    gradient_cache: bool = True,
+):
+    set_gradient_cache_enabled(gradient_cache)
     problem = _build_problem(nt, fft_backend, interp_backend)
     velocity = _generic_velocity(problem)
     iterate = problem.linearize(velocity)
     assert not iterate.plan.is_divergence_free
+    assert iterate.state_gradients.cached is gradient_cache
     direction = 0.1 * np.random.default_rng(0).standard_normal((3, *problem.grid.shape))
     before = problem.work_counters()
     problem.hessian_matvec(iterate, direction)
@@ -85,29 +109,64 @@ def _measure_matvec_work(nt: int, fft_backend: str = "numpy", interp_backend: st
 
 class TestPaperComplexityModel:
     @pytest.mark.parametrize("nt", [2, 4])
-    def test_exact_transform_count(self, nt):
+    def test_exact_warm_transform_count(self, nt):
+        """A warm cached matvec performs zero spectral-gradient FFTs."""
         transforms, _ = _measure_matvec_work(nt)
+        assert transforms == warm_transforms_per_matvec()
+
+    @pytest.mark.parametrize("nt", [2, 4])
+    def test_exact_uncached_transform_count(self, nt):
+        """The paper-mode pin: disabling the cache restores ``8(nt+1)+6``."""
+        transforms, _ = _measure_matvec_work(nt, gradient_cache=False)
         assert transforms == exact_transforms_per_matvec(nt)
+
+    @pytest.mark.parametrize("nt", [2, 4])
+    def test_linearize_cost_is_cache_invariant(self, nt):
+        """Building the cache costs exactly the gradients it replaces.
+
+        ``linearize`` needs every state-gradient level for the body force
+        anyway, so materializing the stack adds zero transforms — the cache
+        is pure amortization, never a cold-path tax.
+        """
+        counts = {}
+        for cached in (True, False):
+            set_gradient_cache_enabled(cached)
+            problem = _build_problem(nt)
+            velocity = _generic_velocity(problem)
+            before = problem.work_counters()
+            problem.linearize(velocity)
+            counts[cached] = (problem.work_counters() - before).fft_transforms
+        assert counts[True] == counts[False]
 
     @pytest.mark.parametrize("nt", [2, 4, 8])
     def test_within_paper_budget(self, nt):
         """``4*nt + 7`` forward/inverse pairs fit the paper's ``8*nt`` FFTs."""
         pairs = exact_transforms_per_matvec(nt) / 2
         assert pairs <= 8 * nt
+        assert warm_transforms_per_matvec() < exact_transforms_per_matvec(nt)
 
     @pytest.mark.parametrize("backend", available_fft_backends())
-    def test_count_is_backend_independent(self, backend):
+    @pytest.mark.parametrize("gradient_cache", [True, False])
+    def test_count_is_backend_independent(self, backend, gradient_cache):
         nt = 4
-        transforms, _ = _measure_matvec_work(nt, fft_backend=backend)
-        assert transforms == exact_transforms_per_matvec(nt)
+        transforms, _ = _measure_matvec_work(
+            nt, fft_backend=backend, gradient_cache=gradient_cache
+        )
+        expected = (
+            warm_transforms_per_matvec()
+            if gradient_cache
+            else exact_transforms_per_matvec(nt)
+        )
+        assert transforms == expected
 
 
 class TestInterpolationSweeps:
     """Pin the paper's ``4*nt`` interpolation sweeps per Hessian matvec."""
 
     @pytest.mark.parametrize("nt", [2, 4])
-    def test_exact_sweep_count_general_velocity(self, nt):
-        _, sweeps = _measure_matvec_work(nt)
+    @pytest.mark.parametrize("gradient_cache", [True, False])
+    def test_exact_sweep_count_general_velocity(self, nt, gradient_cache):
+        _, sweeps = _measure_matvec_work(nt, gradient_cache=gradient_cache)
         assert sweeps == exact_interpolation_sweeps_per_matvec(nt)
 
     @pytest.mark.parametrize("nt", [2, 4, 8])

@@ -7,6 +7,7 @@ from repro.core.optim.line_search import ArmijoLineSearch
 from repro.core.optim.pcg import pcg
 from repro.core.preconditioner import SpectralPreconditioner
 from repro.core.regularization import H1Regularization
+from repro.runtime.cancellation import CancelToken, SolveCancelled
 from repro.spectral.grid import Grid
 from repro.spectral.operators import SpectralOperators
 
@@ -94,6 +95,64 @@ class TestPCG:
             pcg(spd_operator(grid, ops), grid.zeros_vector(), grid, rel_tol=-1.0)
         with pytest.raises(ValueError):
             pcg(spd_operator(grid, ops), grid.zeros_vector(), grid, max_iterations=0)
+
+    def test_precancelled_token_stops_before_first_matvec(self, grid, ops):
+        """The Krylov safe point fires before any Hessian application."""
+        applications = []
+
+        def counting_matvec(v):
+            applications.append(1)
+            return spd_operator(grid, ops)(v)
+
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(SolveCancelled, match="pcg solve"):
+            pcg(
+                counting_matvec,
+                smooth_vector_field(grid, seed=5),
+                grid,
+                rel_tol=1e-12,
+                cancel_token=token,
+            )
+        assert applications == []
+
+    def test_cancellation_mid_krylov_solve(self, grid, ops):
+        """A token cancelled during the solve stops at the next iteration.
+
+        This is the satellite guarantee: a long Krylov solve (up to
+        ``max_iterations`` mat-vecs, each two transport solves) honors the
+        token promptly instead of deferring to the outer Newton loop.
+        """
+        token = CancelToken()
+        applications = []
+
+        def cancelling_matvec(v):
+            applications.append(1)
+            if len(applications) == 3:
+                token.cancel()
+            return spd_operator(grid, ops)(v)
+
+        with pytest.raises(SolveCancelled, match="pcg solve"):
+            pcg(
+                cancelling_matvec,
+                smooth_vector_field(grid, seed=6),
+                grid,
+                rel_tol=1e-14,
+                max_iterations=100,
+                cancel_token=token,
+            )
+        # exactly the mat-vec that latched the token, and not one more
+        assert len(applications) == 3
+
+    def test_none_token_is_a_no_op(self, grid, ops):
+        result = pcg(
+            spd_operator(grid, ops),
+            smooth_vector_field(grid, seed=7),
+            grid,
+            rel_tol=1e-8,
+            cancel_token=None,
+        )
+        assert result.converged
 
 
 class TestArmijoLineSearch:
